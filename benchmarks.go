@@ -1,0 +1,56 @@
+package sigfim
+
+import (
+	"fmt"
+
+	"sigfim/internal/synth"
+)
+
+// BenchmarkSpec identifies one of the paper's six benchmark dataset profiles
+// (Table 1), synthesized offline: a power-law item frequency vector fitted
+// to the published (n, t, m, fmin, fmax), plus a planted-correlation layer
+// for the "real" variant.
+type BenchmarkSpec struct {
+	spec synth.Spec
+}
+
+// BenchmarkNames lists the available profiles in Table 1 order:
+// Retail, Kosarak, Bms1, Bms2, Bmspos, Pumsb*.
+func BenchmarkNames() []string { return synth.Names() }
+
+// BenchmarkProfile looks up a profile by name.
+func BenchmarkProfile(name string) (BenchmarkSpec, error) {
+	s, ok := synth.ByName(name)
+	if !ok {
+		return BenchmarkSpec{}, fmt.Errorf("sigfim: unknown benchmark %q (have %v)", name, synth.Names())
+	}
+	return BenchmarkSpec{spec: s}, nil
+}
+
+// Scale divides the profile's transaction count by factor, preserving the
+// frequency structure; use for fast, shape-preserving experiment runs.
+func (b BenchmarkSpec) Scale(factor int) BenchmarkSpec {
+	return BenchmarkSpec{spec: b.spec.Scale(factor)}
+}
+
+// Name returns the (possibly scale-suffixed) profile name.
+func (b BenchmarkSpec) Name() string { return b.spec.Name }
+
+// NumItems returns n.
+func (b BenchmarkSpec) NumItems() int { return b.spec.N }
+
+// NumTransactions returns t.
+func (b BenchmarkSpec) NumTransactions() int { return b.spec.T }
+
+// Real synthesizes the "real" variant: null model plus planted correlated
+// blocks. Deterministic per seed.
+func (b BenchmarkSpec) Real(seed uint64) *Dataset {
+	return fromVertical(b.spec.GenerateReal(seed))
+}
+
+// Random synthesizes the pure null variant ("Rand"-prefixed in the paper's
+// tables): the independence model with the profile's frequencies, no
+// planted structure.
+func (b BenchmarkSpec) Random(seed uint64) *Dataset {
+	return fromVertical(b.spec.GenerateNull(seed))
+}

@@ -1,0 +1,221 @@
+// Command sigfim mines frequent and statistically significant itemsets from
+// FIMI-format transaction files.
+//
+// Subcommands:
+//
+//	sigfim mine -in data.dat -minsup 100 [-k 2] [-algo eclat|apriori|fpgrowth] [-top 50]
+//	    Classical frequent itemset mining.
+//	sigfim smin -in data.dat -k 2 [-delta 1000] [-eps 0.01] [-seed 1]
+//	    Algorithm 1: estimate the Poisson threshold ŝ_min of the dataset's
+//	    null model.
+//	sigfim significant -in data.dat -k 2 [-alpha 0.05] [-beta 0.05]
+//	    [-delta 1000] [-baseline] [-top 50]
+//	    The full methodology: ŝ_min, the threshold ladder, s*, and the
+//	    significant family with its FDR certificate.
+//	sigfim closed -in data.dat -minsup 100 [-top 50]
+//	    Closed itemset mining (LCM-style enumeration).
+//	sigfim rules -in data.dat -minsup 100 [-minconf 0.5] [-beta 0.05] [-top 50]
+//	    Association rules with exact Binomial and Fisher p-values;
+//	    -beta selects the Benjamini-Yekutieli-significant subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigfim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "mine":
+		err = cmdMine(os.Args[2:])
+	case "smin":
+		err = cmdSMin(os.Args[2:])
+	case "significant":
+		err = cmdSignificant(os.Args[2:])
+	case "closed":
+		err = cmdClosed(os.Args[2:])
+	case "rules":
+		err = cmdRules(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sigfim: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigfim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sigfim <mine|smin|significant|closed|rules> [flags]
+run "sigfim <subcommand> -h" for flags`)
+}
+
+func load(path string) (*sigfim.Dataset, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -in FILE")
+	}
+	return sigfim.OpenFIMI(path)
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	in := fs.String("in", "", "input FIMI file")
+	minsup := fs.Int("minsup", 0, "absolute support threshold")
+	k := fs.Int("k", 0, "itemset size (0 = all sizes)")
+	maxLen := fs.Int("maxlen", 0, "max itemset size when -k 0 (0 = unbounded)")
+	algo := fs.String("algo", "auto", "auto|eclat|eclat-bits|apriori|fpgrowth")
+	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
+	fs.Parse(args)
+	d, err := load(*in)
+	if err != nil {
+		return err
+	}
+	ps, err := d.Mine(sigfim.MineOptions{
+		K: *k, MinSupport: *minsup, MaxLen: *maxLen, Algorithm: *algo,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d itemsets with support >= %d\n", len(ps), *minsup)
+	printPatterns(ps, *top)
+	return nil
+}
+
+func cmdSMin(args []string) error {
+	fs := flag.NewFlagSet("smin", flag.ExitOnError)
+	in := fs.String("in", "", "input FIMI file")
+	k := fs.Int("k", 2, "itemset size")
+	delta := fs.Int("delta", 1000, "Monte Carlo replicates")
+	eps := fs.Float64("eps", 0.01, "Poisson tolerance")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+	d, err := load(*in)
+	if err != nil {
+		return err
+	}
+	s, err := d.FindSMin(*k, &sigfim.Config{Delta: *delta, Epsilon: *eps, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("s_min = %d (k=%d, delta=%d, eps=%g)\n", s, *k, *delta, *eps)
+	return nil
+}
+
+func cmdSignificant(args []string) error {
+	fs := flag.NewFlagSet("significant", flag.ExitOnError)
+	in := fs.String("in", "", "input FIMI file")
+	k := fs.Int("k", 2, "itemset size")
+	alpha := fs.Float64("alpha", 0.05, "confidence budget")
+	beta := fs.Float64("beta", 0.05, "FDR budget")
+	delta := fs.Int("delta", 1000, "Monte Carlo replicates")
+	seed := fs.Uint64("seed", 1, "random seed")
+	baseline := fs.Bool("baseline", false, "also run the Benjamini-Yekutieli baseline")
+	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
+	fs.Parse(args)
+	d, err := load(*in)
+	if err != nil {
+		return err
+	}
+	rep, err := d.Significant(*k, &sigfim.Config{
+		Alpha: *alpha, Beta: *beta, Delta: *delta, Seed: *seed,
+		WithBaseline: *baseline,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("k = %d, alpha = %g, beta = %g\n", rep.K, rep.Alpha, rep.Beta)
+	fmt.Printf("s_min = %d (Poisson regime)\n", rep.SMin)
+	fmt.Println("threshold ladder:")
+	for _, st := range rep.Steps {
+		fmt.Printf("  s=%-8d Q=%-10d lambda=%-12.4g p=%-12.4g rejected=%v\n",
+			st.S, st.Q, st.Lambda, st.PValue, st.Rejected)
+	}
+	if rep.Infinite {
+		fmt.Println("s* = infinity: no significant support threshold (data consistent with the null)")
+		return nil
+	}
+	fmt.Printf("s* = %d: %d significant %d-itemsets (null expects %.4g), FDR <= %g with confidence %g\n",
+		rep.SStar, rep.NumSignificant, rep.K, rep.Lambda, rep.Beta, 1-rep.Alpha)
+	printPatterns(rep.Significant, *top)
+	if rep.Baseline != nil {
+		fmt.Printf("\nBY baseline (Procedure 1): %d of %d tested flagged; power ratio r = %.3f\n",
+			rep.Baseline.NumSignificant, rep.Baseline.NumTested, rep.PowerRatio)
+	}
+	return nil
+}
+
+func cmdClosed(args []string) error {
+	fs := flag.NewFlagSet("closed", flag.ExitOnError)
+	in := fs.String("in", "", "input FIMI file")
+	minsup := fs.Int("minsup", 0, "absolute support threshold")
+	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
+	fs.Parse(args)
+	d, err := load(*in)
+	if err != nil {
+		return err
+	}
+	ps := d.ClosedItemsets(*minsup)
+	fmt.Printf("%d closed itemsets with support >= %d\n", len(ps), *minsup)
+	printPatterns(ps, *top)
+	if big, ok := d.LargestClosedItemset(*minsup); ok {
+		fmt.Printf("largest closed itemset: %d items at support %d\n", len(big.Items), big.Support)
+	}
+	return nil
+}
+
+func printPatterns(ps []sigfim.Pattern, top int) {
+	for i, p := range ps {
+		if top > 0 && i == top {
+			fmt.Printf("... and %d more\n", len(ps)-top)
+			return
+		}
+		fmt.Printf("  %v  support %d\n", p.Items, p.Support)
+	}
+}
+
+func cmdRules(args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	in := fs.String("in", "", "input FIMI file")
+	minsup := fs.Int("minsup", 0, "absolute joint-support threshold")
+	minconf := fs.Float64("minconf", 0, "minimum confidence")
+	maxlen := fs.Int("maxlen", 0, "max joint itemset size (0 = 4)")
+	beta := fs.Float64("beta", 0, "if > 0, keep only BY-significant rules at this FDR")
+	top := fs.Int("top", 50, "print at most this many rules (0 = all)")
+	fs.Parse(args)
+	d, err := load(*in)
+	if err != nil {
+		return err
+	}
+	opts := sigfim.RuleOptions{MinSupport: *minsup, MinConfidence: *minconf, MaxLen: *maxlen}
+	var rules []sigfim.AssociationRule
+	if *beta > 0 {
+		rules, err = d.SignificantRules(opts, *beta)
+	} else {
+		rules, err = d.Rules(opts)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rules\n", len(rules))
+	for i, r := range rules {
+		if *top > 0 && i == *top {
+			fmt.Printf("... and %d more\n", len(rules)-*top)
+			break
+		}
+		fmt.Printf("  %v => %v  sup=%d conf=%.3f lift=%.2f p=%.3g fisher=%.3g\n",
+			r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift, r.PValue, r.FisherP)
+	}
+	return nil
+}

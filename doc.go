@@ -1,0 +1,45 @@
+// Package sigfim identifies statistically significant frequent itemsets in
+// transactional data, implementing the methodology of Kirsch, Mitzenmacher,
+// Pietracaprina, Pucci, Upfal and Vandin, "An Efficient Rigorous Approach for
+// Identifying Statistically Significant Frequent Itemsets" (ACM PODS 2009).
+//
+// Classical frequent itemset mining returns every itemset whose support
+// clears a user-chosen threshold, with no statistical guarantee: in a random
+// dataset with the same item frequencies, plenty of itemsets clear any given
+// threshold by chance. This package determines, for a fixed itemset size k,
+// a support threshold s* such that the family of k-itemsets with support at
+// least s* deviates significantly from the independence null model AND
+// carries a bounded false discovery rate:
+//
+//   - With confidence 1-alpha, the count of k-itemsets with support >= s* is
+//     not explained by the null model (a random dataset with the same number
+//     of transactions and the same item frequencies).
+//   - The expected fraction of false discoveries in the returned family is
+//     at most beta.
+//
+// The machinery behind the guarantee is a Chen-Stein Poisson approximation:
+// above a computable support s_min, the number of frequent k-itemsets in a
+// random dataset is approximately Poisson, so observed counts can be tested
+// against exact Poisson tails. s_min itself is estimated by Monte Carlo
+// (Algorithm 1 of the paper), and a Benjamini-Yekutieli per-itemset baseline
+// (Procedure 1) is included for comparison.
+//
+// # Quick start
+//
+//	d, err := sigfim.OpenFIMI("transactions.dat")
+//	if err != nil { ... }
+//	report, err := d.Significant(2, nil) // pairs, default alpha=beta=0.05
+//	if err != nil { ... }
+//	if report.Infinite {
+//	    fmt.Println("no significant support threshold: data looks random")
+//	} else {
+//	    fmt.Printf("s* = %d: %d significant pairs (null expects %.2f)\n",
+//	        report.SStar, report.NumSignificant, report.Lambda)
+//	}
+//
+// Lower-level entry points expose the individual components: Mine for plain
+// frequent itemset mining (Apriori, Eclat, FP-Growth), FindSMin for the
+// Poisson threshold alone, RandomTwin / SwapTwin for null-model dataset
+// generation, and BenchmarkProfile for the paper's six synthetic benchmark
+// profiles.
+package sigfim

@@ -1,0 +1,68 @@
+// Market-basket study on the Retail benchmark profile: reproduces the
+// paper's headline Retail observation — the dataset behaves randomly at
+// k = 2 and 3 (no significant support threshold exists), while a small
+// genuinely-correlated family appears at k = 4.
+//
+//	go run ./examples/marketbasket [-scale 16] [-delta 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sigfim"
+)
+
+var (
+	scale = flag.Int("scale", 16, "divide the Retail profile's t by this factor")
+	delta = flag.Int("delta", 150, "Monte Carlo replicates")
+)
+
+func main() {
+	flag.Parse()
+	spec, err := sigfim.BenchmarkProfile("Retail")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = spec.Scale(*scale)
+	d := spec.Real(2009)
+	p := d.Profile(spec.Name())
+	fmt.Printf("%s: %d items, %d transactions, mean length %.1f\n\n",
+		p.Name, p.NumItems, p.NumTransactions, p.AvgTransactionLen)
+
+	for k := 2; k <= 4; k++ {
+		report, err := d.Significant(k, &sigfim.Config{Delta: *delta, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k = %d: s_min = %d, ", k, report.SMin)
+		if report.Infinite {
+			fmt.Println("s* = inf — high-support structure is indistinguishable from random")
+			continue
+		}
+		fmt.Printf("s* = %d -> %d significant %d-itemsets (null expects %.3f)\n",
+			report.SStar, report.NumSignificant, k, report.Lambda)
+		for i, pat := range report.Significant {
+			if i == 8 {
+				fmt.Printf("    ... and %d more\n", len(report.Significant)-8)
+				break
+			}
+			fmt.Printf("    %v support %d\n", pat.Items, pat.Support)
+		}
+	}
+
+	fmt.Println("\nSame analysis on a random twin (same frequencies, no correlations):")
+	twin := d.RandomTwin(99)
+	for k := 2; k <= 4; k++ {
+		report, err := twin.Significant(k, &sigfim.Config{Delta: *delta, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "s* = inf (correct: nothing to find)"
+		if !report.Infinite {
+			status = fmt.Sprintf("s* = %d (false alarm, Q=%d)", report.SStar, report.NumSignificant)
+		}
+		fmt.Printf("k = %d: %s\n", k, status)
+	}
+}

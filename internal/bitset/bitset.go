@@ -1,0 +1,145 @@
+// Package bitset provides dense bit vectors and sorted transaction-id lists,
+// the two physical representations behind vertical itemset mining. Support
+// counting for an itemset is the cardinality of the intersection of its
+// items' transaction sets; both representations implement that primitive with
+// different tradeoffs (bitsets win when sets are dense, tidlists when sparse).
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity dense bit vector over [0, n).
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bitset with capacity for n bits, all clear.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// Reset clears all bits in place.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// And stores x AND y into b (capacities must match).
+func (b *Bitset) And(x, y *Bitset) {
+	if x.n != y.n || b.n != x.n {
+		panic("bitset: And capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] = x.words[i] & y.words[i]
+	}
+}
+
+// AndCount returns |x AND y| without materializing the intersection — the
+// hot path of bitset-based support counting.
+func AndCount(x, y *Bitset) int {
+	if x.n != y.n {
+		panic("bitset: AndCount capacity mismatch")
+	}
+	c := 0
+	for i, w := range x.words {
+		c += bits.OnesCount64(w & y.words[i])
+	}
+	return c
+}
+
+// AndCountInto intersects x into dst (dst = dst AND x) and returns the new
+// cardinality. Used by DFS miners that refine a running intersection.
+func (b *Bitset) AndCountInto(x *Bitset) int {
+	if b.n != x.n {
+		panic("bitset: AndCountInto capacity mismatch")
+	}
+	c := 0
+	for i := range b.words {
+		b.words[i] &= x.words[i]
+		c += bits.OnesCount64(b.words[i])
+	}
+	return c
+}
+
+// Or stores x OR y into b.
+func (b *Bitset) Or(x, y *Bitset) {
+	if x.n != y.n || b.n != x.n {
+		panic("bitset: Or capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] = x.words[i] | y.words[i]
+	}
+}
+
+// Iterate calls fn for every set bit in ascending order; fn returning false
+// stops the iteration.
+func (b *Bitset) Iterate(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ToSlice returns the indices of set bits in ascending order.
+func (b *Bitset) ToSlice() []uint32 {
+	out := make([]uint32, 0, b.Count())
+	b.Iterate(func(i int) bool {
+		out = append(out, uint32(i))
+		return true
+	})
+	return out
+}
+
+// FromSlice builds a Bitset of capacity n with the given bits set.
+func FromSlice(n int, idx []uint32) *Bitset {
+	b := New(n)
+	for _, i := range idx {
+		b.Set(int(i))
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 7 {
+		t.Fatal("Clear failed")
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestAndOrCount(t *testing.T) {
+	x := FromSlice(200, []uint32{1, 5, 64, 100, 150, 199})
+	y := FromSlice(200, []uint32{5, 64, 101, 150})
+	if got := AndCount(x, y); got != 3 {
+		t.Fatalf("AndCount = %d, want 3", got)
+	}
+	z := New(200)
+	z.And(x, y)
+	if got := z.ToSlice(); len(got) != 3 || got[0] != 5 || got[1] != 64 || got[2] != 150 {
+		t.Fatalf("And = %v", got)
+	}
+	z.Or(x, y)
+	if z.Count() != 7 {
+		t.Fatalf("Or count = %d, want 7", z.Count())
+	}
+}
+
+func TestAndCountInto(t *testing.T) {
+	x := FromSlice(100, []uint32{2, 4, 6, 8, 10})
+	y := FromSlice(100, []uint32{4, 8, 12})
+	c := x.AndCountInto(y)
+	if c != 2 {
+		t.Fatalf("AndCountInto = %d, want 2", c)
+	}
+	got := x.ToSlice()
+	if len(got) != 2 || got[0] != 4 || got[1] != 8 {
+		t.Fatalf("in-place intersection = %v", got)
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	b := FromSlice(300, []uint32{10, 20, 30, 40})
+	var seen []int
+	b.Iterate(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 10 || seen[1] != 20 {
+		t.Fatalf("early stop iterate = %v", seen)
+	}
+}
+
+func TestRoundTripSlice(t *testing.T) {
+	f := func(raw []uint16) bool {
+		n := 1 << 16
+		seen := map[uint32]bool{}
+		var idx []uint32
+		for _, v := range raw {
+			u := uint32(v)
+			if !seen[u] {
+				seen[u] = true
+				idx = append(idx, u)
+			}
+		}
+		b := FromSlice(n, idx)
+		if b.Count() != len(seen) {
+			return false
+		}
+		out := b.ToSlice()
+		for _, v := range out {
+			if !seen[v] {
+				return false
+			}
+		}
+		return len(out) == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	x := FromSlice(64, []uint32{0, 63})
+	y := x.Clone()
+	y.Set(5)
+	if x.Test(5) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AndCount with mismatched capacity should panic")
+		}
+	}()
+	AndCount(New(10), New(20))
+}

@@ -1,0 +1,136 @@
+package bitset
+
+// TidList is a strictly increasing list of transaction ids. It is the sparse
+// counterpart of Bitset: intersection costs O(|x| + |y|) regardless of the
+// transaction count, which wins when supports are far below t.
+type TidList []uint32
+
+// IntersectCount returns |x ∩ y| by a linear merge with a galloping fallback
+// when the lists are very unbalanced.
+func IntersectCount(x, y TidList) int {
+	if len(x) > len(y) {
+		x, y = y, x
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	// Galloping pays off when one list is much shorter.
+	if len(y) >= 32*len(x) {
+		return gallopCount(x, y)
+	}
+	c, i, j := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// gallopCount counts matches of the short list x inside the long list y by
+// exponential search.
+func gallopCount(x, y TidList) int {
+	c := 0
+	lo := 0
+	for _, v := range x {
+		// Exponential probe from lo.
+		step := 1
+		hi := lo
+		for hi < len(y) && y[hi] < v {
+			lo = hi + 1
+			hi += step
+			step *= 2
+		}
+		if hi > len(y) {
+			hi = len(y)
+		}
+		// Binary search in (lo-1, hi].
+		a, b := lo, hi
+		for a < b {
+			mid := (a + b) / 2
+			if y[mid] < v {
+				a = mid + 1
+			} else {
+				b = mid
+			}
+		}
+		lo = a
+		if lo < len(y) && y[lo] == v {
+			c++
+			lo++
+		}
+		if lo >= len(y) {
+			break
+		}
+	}
+	return c
+}
+
+// Intersect returns x ∩ y as a new TidList.
+func Intersect(x, y TidList) TidList {
+	if len(x) > len(y) {
+		x, y = y, x
+	}
+	out := make(TidList, 0, len(x))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			out = append(out, x[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectInto intersects dst with y in place (dst must be sorted) and
+// returns the shortened dst. Reuses dst's backing array, so DFS miners can
+// maintain a stack of prefix intersections without allocation churn.
+func IntersectInto(dst, y TidList) TidList {
+	w, i, j := 0, 0, 0
+	for i < len(dst) && j < len(y) {
+		switch {
+		case dst[i] < y[j]:
+			i++
+		case dst[i] > y[j]:
+			j++
+		default:
+			dst[w] = dst[i]
+			w++
+			i++
+			j++
+		}
+	}
+	return dst[:w]
+}
+
+// ToBitset converts the list into a Bitset of capacity n.
+func (t TidList) ToBitset(n int) *Bitset {
+	return FromSlice(n, t)
+}
+
+// Contains reports whether tid is present (binary search).
+func (t TidList) Contains(tid uint32) bool {
+	lo, hi := 0, len(t)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t[mid] < tid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(t) && t[lo] == tid
+}

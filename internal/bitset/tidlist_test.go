@@ -1,0 +1,133 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkSorted(raw []uint16) TidList {
+	seen := map[uint32]bool{}
+	var out TidList
+	for _, v := range raw {
+		u := uint32(v)
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bruteIntersect(x, y TidList) TidList {
+	set := map[uint32]bool{}
+	for _, v := range x {
+		set[v] = true
+	}
+	var out TidList
+	for _, v := range y {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestIntersectCountAgainstBrute(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		x, y := mkSorted(a), mkSorted(b)
+		want := len(bruteIntersect(x, y))
+		return IntersectCount(x, y) == want &&
+			IntersectCount(y, x) == want &&
+			len(Intersect(x, y)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGallopPath(t *testing.T) {
+	// Force the galloping branch: short x, long y.
+	var y TidList
+	for i := uint32(0); i < 10000; i += 3 {
+		y = append(y, i)
+	}
+	x := TidList{0, 3, 4, 9999, 9000}
+	sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+	want := len(bruteIntersect(x, y))
+	if got := IntersectCount(x, y); got != want {
+		t.Fatalf("gallop count = %d, want %d", got, want)
+	}
+	if got := gallopCount(x, y); got != want {
+		t.Fatalf("direct gallop = %d, want %d", got, want)
+	}
+}
+
+func TestIntersectInto(t *testing.T) {
+	dst := TidList{1, 3, 5, 7, 9}
+	y := TidList{3, 4, 7, 10}
+	out := IntersectInto(dst, y)
+	if len(out) != 2 || out[0] != 3 || out[1] != 7 {
+		t.Fatalf("IntersectInto = %v", out)
+	}
+}
+
+func TestIntersectIntoProperty(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		x, y := mkSorted(a), mkSorted(b)
+		dst := append(TidList(nil), x...)
+		got := IntersectInto(dst, y)
+		want := bruteIntersect(x, y)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	x := TidList{2, 4, 8, 16, 32}
+	for _, v := range x {
+		if !x.Contains(v) {
+			t.Fatalf("Contains(%d) false", v)
+		}
+	}
+	for _, v := range []uint32{0, 3, 33} {
+		if x.Contains(v) {
+			t.Fatalf("Contains(%d) true", v)
+		}
+	}
+	if TidList(nil).Contains(1) {
+		t.Fatal("empty Contains true")
+	}
+}
+
+func TestTidListBitsetAgreement(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		x, y := mkSorted(a), mkSorted(b)
+		n := 1 << 16
+		bx, by := x.ToBitset(n), y.ToBitset(n)
+		return IntersectCount(x, y) == AndCount(bx, by)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyIntersections(t *testing.T) {
+	if IntersectCount(nil, TidList{1, 2}) != 0 {
+		t.Fatal("empty intersect count")
+	}
+	if got := Intersect(nil, nil); len(got) != 0 {
+		t.Fatal("empty intersect")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"sigfim/internal/dataset"
+	"sigfim/internal/montecarlo"
+	"sigfim/internal/randmodel"
+)
+
+// Options bundles the methodology's tunables with the paper's defaults.
+type Options struct {
+	// Alpha is the confidence budget of Procedure 2 (default 0.05).
+	Alpha float64
+	// Beta is the FDR budget of both procedures (default 0.05).
+	Beta float64
+	// Epsilon is the Poisson-approximation tolerance of Algorithm 1
+	// (default 0.01).
+	Epsilon float64
+	// Delta is the number of Monte Carlo replicates (default 1000).
+	Delta int
+	// Seed fixes all random streams.
+	Seed uint64
+	// MaxEntries caps Algorithm 1's (itemset, replicate) records; zero
+	// keeps the montecarlo default.
+	MaxEntries int
+	// SMinOverride skips Algorithm 1 and uses this Poisson threshold
+	// directly (with MC lambda estimation still run); zero disables.
+	SMinOverride int
+	// RunProcedure1 additionally runs the BY baseline for comparison.
+	RunProcedure1 bool
+	// NullModel overrides the null model used by Algorithm 1 and the lambda
+	// estimates; nil selects the paper's independence model built from the
+	// dataset's measured profile. Swap randomization (randmodel.SwapModel)
+	// is the natural alternative.
+	NullModel randmodel.Model
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.05
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.01
+	}
+	if o.Delta == 0 {
+		o.Delta = 1000
+	}
+	return o
+}
+
+// Analysis is the full output of the methodology on one (dataset, k) pair.
+type Analysis struct {
+	// Profile is the measured dataset profile the null model was built from.
+	Profile dataset.Profile
+	// K is the itemset size.
+	K int
+	// MC is the Algorithm 1 output (ŝ_min, empirical bounds, lambda).
+	MC *montecarlo.Result
+	// Proc2 is the support-threshold methodology result.
+	Proc2 *Procedure2Result
+	// Proc1 is the BY baseline (nil unless Options.RunProcedure1).
+	Proc1 *Procedure1Result
+}
+
+// PowerRatio returns the Table 5 ratio r = Q_{k,s*}/|R|; zero when either
+// procedure is missing.
+func (a *Analysis) PowerRatio() float64 {
+	if a.Proc1 == nil || a.Proc2 == nil {
+		return 0
+	}
+	return Ratio(a.Proc2, a.Proc1)
+}
+
+// Analyze runs the complete methodology against a dataset: profile
+// extraction, Algorithm 1 on the matching null model, Procedure 2 with the
+// Monte Carlo lambda estimates, and optionally Procedure 1.
+func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, error) {
+	opts = opts.withDefaults()
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	profile := dataset.ExtractVertical(name, v)
+	var model randmodel.Model = randmodel.FromProfile(profile)
+	if opts.NullModel != nil {
+		model = opts.NullModel
+	}
+
+	mc, err := montecarlo.FindPoissonThreshold(model, montecarlo.Config{
+		K:          k,
+		Delta:      opts.Delta,
+		Epsilon:    opts.Epsilon,
+		Seed:       opts.Seed,
+		MaxEntries: opts.MaxEntries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: Algorithm 1: %w", err)
+	}
+	sMin := mc.SMin
+	if opts.SMinOverride > 0 {
+		sMin = opts.SMinOverride
+	}
+	if sMin < mc.Floor {
+		// Lambda estimates only exist down to the mining floor.
+		sMin = mc.Floor
+	}
+
+	lambda := func(s int) float64 {
+		if s < mc.Floor {
+			s = mc.Floor
+		}
+		return mc.Lambda(s)
+	}
+	p2, err := Procedure2(v, k, sMin, lambda, opts.Alpha, opts.Beta)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{Profile: profile, K: k, MC: mc, Proc2: p2}
+	if opts.RunProcedure1 {
+		p1, err := Procedure1(v, k, sMin, opts.Beta)
+		if err != nil {
+			return nil, err
+		}
+		a.Proc1 = p1
+	}
+	return a, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sigfim/internal/dataset"
+	"sigfim/internal/mht"
+	"sigfim/internal/mining"
+	"sigfim/internal/stats"
+)
+
+// maxMaterializedFamily caps how many flagged itemsets Procedure1 keeps in
+// memory; FamilySize always reports the exact count. The paper's Bms1 k=4
+// row has |R| = 219706 and the mined family F_k(s_min) runs to tens of
+// millions, so both the testing pass and the collection pass stream.
+const maxMaterializedFamily = 200_000
+
+// Procedure1 mines F_k(sMin) from the dataset and flags significant itemsets
+// by the Benjamini-Yekutieli step-up test over m = C(n, k) hypotheses
+// (Theorem 5), guaranteeing FDR <= beta. The null hypothesis for itemset X
+// is that its support is a draw from Binomial(t, f_X) with f_X the product
+// of its items' observed frequencies.
+//
+// The computation streams in two passes over the mined family: pass one
+// records only the p-values (8 bytes per itemset), determines the BY
+// rejection threshold, and pass two re-mines to materialize the rejected
+// itemsets (capped at maxMaterializedFamily; FamilySize is always exact).
+func Procedure1(v *dataset.Vertical, k, sMin int, beta float64) (*Procedure1Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if sMin < 1 {
+		return nil, fmt.Errorf("core: sMin must be >= 1, got %d", sMin)
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("core: beta must be in (0,1), got %v", beta)
+	}
+	t := v.NumTransactions
+	n := v.NumItems()
+	freqs := v.Frequencies()
+
+	pvalOf := func(items mining.Itemset, sup int) float64 {
+		fX := 1.0
+		for _, it := range items {
+			fX *= freqs[it]
+		}
+		return stats.Binomial{N: t, P: fX}.UpperTail(sup)
+	}
+
+	// Pass 1: p-values only.
+	var pvals []float64
+	mining.VisitK(v, k, sMin, func(items mining.Itemset, sup int) {
+		pvals = append(pvals, pvalOf(items, sup))
+	})
+	m := math.Exp(stats.LogChoose(n, k))
+
+	res := &Procedure1Result{
+		K:        k,
+		SMin:     sMin,
+		NumMined: len(pvals),
+		M:        m,
+		Beta:     beta,
+	}
+	if len(pvals) == 0 {
+		return res, nil
+	}
+
+	// BY step-up threshold: largest i with p_(i) <= i * beta / (m * H(m)).
+	sort.Float64s(pvals)
+	denom := m * mht.Harmonic(m)
+	ell := 0
+	for i := len(pvals); i >= 1; i-- {
+		if pvals[i-1] <= float64(i)/denom*beta {
+			ell = i
+			break
+		}
+	}
+	if ell == 0 {
+		return res, nil
+	}
+	threshold := pvals[ell-1]
+	// Count rejections exactly: every p-value <= the ell-th order statistic
+	// is rejected (ties at the threshold are all below the step-up line).
+	res.FamilySize = sort.SearchFloat64s(pvals, math.Nextafter(threshold, 2))
+
+	// Pass 2: materialize the rejected itemsets (capped).
+	mining.VisitK(v, k, sMin, func(items mining.Itemset, sup int) {
+		if len(res.Family) >= maxMaterializedFamily {
+			return
+		}
+		if p := pvalOf(items, sup); p <= threshold {
+			res.Family = append(res.Family, SignificantItemset{
+				Items:   items.Clone(),
+				Support: sup,
+				PValue:  p,
+			})
+		}
+	})
+	sort.Slice(res.Family, func(a, b int) bool {
+		if res.Family[a].PValue != res.Family[b].PValue {
+			return res.Family[a].PValue < res.Family[b].PValue
+		}
+		return res.Family[a].Support > res.Family[b].Support
+	})
+	return res, nil
+}

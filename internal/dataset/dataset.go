@@ -1,0 +1,173 @@
+// Package dataset implements transactional datasets: the horizontal
+// (transaction-major) and vertical (item-major) physical layouts, FIMI text
+// IO, and dataset profiles (the Table 1 parameters of the paper: number of
+// items n, transaction count t, item frequency range, and mean transaction
+// length m).
+//
+// Items are dense integer ids in [0, NumItems). Transactions are sorted,
+// duplicate-free item slices.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"sigfim/internal/bitset"
+)
+
+// Dataset is an immutable transactional dataset in horizontal layout.
+type Dataset struct {
+	numItems int
+	tx       [][]uint32
+	supports []int // lazily computed item supports
+}
+
+// New builds a Dataset over numItems items from the given transactions.
+// Each transaction is copied, sorted, and deduplicated; item ids must be in
+// [0, numItems).
+func New(numItems int, transactions [][]uint32) (*Dataset, error) {
+	if numItems < 0 {
+		return nil, fmt.Errorf("dataset: negative item count %d", numItems)
+	}
+	tx := make([][]uint32, len(transactions))
+	for i, tr := range transactions {
+		c := append([]uint32(nil), tr...)
+		sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+		w := 0
+		for r := 0; r < len(c); r++ {
+			if int(c[r]) >= numItems {
+				return nil, fmt.Errorf("dataset: transaction %d has item %d >= numItems %d", i, c[r], numItems)
+			}
+			if w == 0 || c[w-1] != c[r] {
+				c[w] = c[r]
+				w++
+			}
+		}
+		tx[i] = c[:w]
+	}
+	return &Dataset{numItems: numItems, tx: tx}, nil
+}
+
+// MustNew is New but panics on error; for tests and generators that construct
+// valid data by construction.
+func MustNew(numItems int, transactions [][]uint32) *Dataset {
+	d, err := New(numItems, transactions)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NumItems returns the size of the item universe.
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// NumTransactions returns t, the number of transactions.
+func (d *Dataset) NumTransactions() int { return len(d.tx) }
+
+// Transaction returns the i-th transaction (shared slice; do not modify).
+func (d *Dataset) Transaction(i int) []uint32 { return d.tx[i] }
+
+// Transactions returns the underlying transaction slice (shared; read-only).
+func (d *Dataset) Transactions() [][]uint32 { return d.tx }
+
+// ItemSupports returns n(i), the number of transactions containing each item.
+// The result is computed once and cached (shared slice; do not modify).
+func (d *Dataset) ItemSupports() []int {
+	if d.supports == nil {
+		s := make([]int, d.numItems)
+		for _, tr := range d.tx {
+			for _, it := range tr {
+				s[it]++
+			}
+		}
+		d.supports = s
+	}
+	return d.supports
+}
+
+// Frequencies returns f_i = n(i)/t for each item. If the dataset has no
+// transactions all frequencies are zero.
+func (d *Dataset) Frequencies() []float64 {
+	f := make([]float64, d.numItems)
+	t := float64(len(d.tx))
+	if t == 0 {
+		return f
+	}
+	for i, s := range d.ItemSupports() {
+		f[i] = float64(s) / t
+	}
+	return f
+}
+
+// AvgTransactionLen returns m, the mean number of items per transaction.
+func (d *Dataset) AvgTransactionLen() float64 {
+	if len(d.tx) == 0 {
+		return 0
+	}
+	total := 0
+	for _, tr := range d.tx {
+		total += len(tr)
+	}
+	return float64(total) / float64(len(d.tx))
+}
+
+// Support scans the horizontal layout and returns the number of transactions
+// containing every item of the (sorted or unsorted) itemset. O(t * m); the
+// vertical layout is preferred for repeated queries.
+func (d *Dataset) Support(itemset []uint32) int {
+	if len(itemset) == 0 {
+		return len(d.tx)
+	}
+	q := append([]uint32(nil), itemset...)
+	sort.Slice(q, func(a, b int) bool { return q[a] < q[b] })
+	count := 0
+	for _, tr := range d.tx {
+		if containsSorted(tr, q) {
+			count++
+		}
+	}
+	return count
+}
+
+// containsSorted reports whether the sorted transaction tr contains every
+// element of the sorted query q (merge scan).
+func containsSorted(tr, q []uint32) bool {
+	i := 0
+	for _, want := range q {
+		for i < len(tr) && tr[i] < want {
+			i++
+		}
+		if i >= len(tr) || tr[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// MaxItemSupport returns the largest single-item support (0 for an empty
+// dataset). Procedure 2 uses it as s_max, the scan's upper end.
+func (d *Dataset) MaxItemSupport() int {
+	max := 0
+	for _, s := range d.ItemSupports() {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Vertical converts to the item-major layout.
+func (d *Dataset) Vertical() *Vertical {
+	tids := make([]bitset.TidList, d.numItems)
+	supports := d.ItemSupports()
+	for i, s := range supports {
+		tids[i] = make(bitset.TidList, 0, s)
+	}
+	for tid, tr := range d.tx {
+		for _, it := range tr {
+			tids[it] = append(tids[it], uint32(tid))
+		}
+	}
+	return &Vertical{NumTransactions: len(d.tx), Tids: tids}
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"sigfim/internal/bitset"
+)
+
+// Vertical is the item-major layout: one sorted transaction-id list per item.
+// The random dataset generator produces this layout directly (it places each
+// item's occurrences independently), and the Eclat miner consumes it.
+type Vertical struct {
+	NumTransactions int
+	Tids            []bitset.TidList
+}
+
+// NewVertical validates and wraps per-item tid lists. Lists must be strictly
+// increasing with ids below numTransactions.
+func NewVertical(numTransactions int, tids []bitset.TidList) (*Vertical, error) {
+	for item, l := range tids {
+		for i, tid := range l {
+			if int(tid) >= numTransactions {
+				return nil, fmt.Errorf("dataset: item %d has tid %d >= t=%d", item, tid, numTransactions)
+			}
+			if i > 0 && l[i-1] >= tid {
+				return nil, fmt.Errorf("dataset: item %d tid list not strictly increasing at %d", item, i)
+			}
+		}
+	}
+	return &Vertical{NumTransactions: numTransactions, Tids: tids}, nil
+}
+
+// NumItems returns the item universe size.
+func (v *Vertical) NumItems() int { return len(v.Tids) }
+
+// ItemSupport returns n(i) for one item.
+func (v *Vertical) ItemSupport(item uint32) int { return len(v.Tids[item]) }
+
+// ItemSupports returns the support of every item.
+func (v *Vertical) ItemSupports() []int {
+	s := make([]int, len(v.Tids))
+	for i, l := range v.Tids {
+		s[i] = len(l)
+	}
+	return s
+}
+
+// Frequencies returns f_i = n(i)/t.
+func (v *Vertical) Frequencies() []float64 {
+	f := make([]float64, len(v.Tids))
+	if v.NumTransactions == 0 {
+		return f
+	}
+	t := float64(v.NumTransactions)
+	for i, l := range v.Tids {
+		f[i] = float64(len(l)) / t
+	}
+	return f
+}
+
+// MaxItemSupport returns the largest single-item support.
+func (v *Vertical) MaxItemSupport() int {
+	max := 0
+	for _, l := range v.Tids {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// Support intersects the tid lists of the itemset's items, cheapest-first.
+func (v *Vertical) Support(itemset []uint32) int {
+	switch len(itemset) {
+	case 0:
+		return v.NumTransactions
+	case 1:
+		return len(v.Tids[itemset[0]])
+	}
+	// Intersect in increasing order of list length so intermediate results
+	// shrink as fast as possible.
+	order := append([]uint32(nil), itemset...)
+	sort.Slice(order, func(a, b int) bool {
+		return len(v.Tids[order[a]]) < len(v.Tids[order[b]])
+	})
+	if len(v.Tids[order[0]]) == 0 {
+		return 0
+	}
+	if len(order) == 2 {
+		return bitset.IntersectCount(v.Tids[order[0]], v.Tids[order[1]])
+	}
+	acc := bitset.Intersect(v.Tids[order[0]], v.Tids[order[1]])
+	for _, it := range order[2:] {
+		if len(acc) == 0 {
+			return 0
+		}
+		acc = bitset.IntersectInto(acc, v.Tids[it])
+	}
+	return len(acc)
+}
+
+// TidListOf returns the transactions containing every item of the itemset.
+func (v *Vertical) TidListOf(itemset []uint32) bitset.TidList {
+	switch len(itemset) {
+	case 0:
+		all := make(bitset.TidList, v.NumTransactions)
+		for i := range all {
+			all[i] = uint32(i)
+		}
+		return all
+	case 1:
+		return append(bitset.TidList(nil), v.Tids[itemset[0]]...)
+	}
+	acc := append(bitset.TidList(nil), v.Tids[itemset[0]]...)
+	for _, it := range itemset[1:] {
+		acc = bitset.IntersectInto(acc, v.Tids[it])
+	}
+	return acc
+}
+
+// Horizontal converts back to transaction-major layout.
+func (v *Vertical) Horizontal() *Dataset {
+	lens := make([]int, v.NumTransactions)
+	for _, l := range v.Tids {
+		for _, tid := range l {
+			lens[tid]++
+		}
+	}
+	tx := make([][]uint32, v.NumTransactions)
+	for tid, n := range lens {
+		tx[tid] = make([]uint32, 0, n)
+	}
+	// Visiting items in ascending order keeps each transaction sorted.
+	for item, l := range v.Tids {
+		for _, tid := range l {
+			tx[tid] = append(tx[tid], uint32(item))
+		}
+	}
+	return &Dataset{numItems: len(v.Tids), tx: tx}
+}

@@ -1,0 +1,241 @@
+package mht
+
+import (
+	"math"
+	"testing"
+
+	"sigfim/internal/stats"
+)
+
+func TestHarmonicExactSmall(t *testing.T) {
+	want := 0.0
+	for m := 1; m <= 1000; m++ {
+		want += 1 / float64(m)
+		if got := Harmonic(float64(m)); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Harmonic(%d) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticContinuity(t *testing.T) {
+	// The asymptotic branch must agree with exact summation at the cutoff.
+	m := float64(1 << 20)
+	exact := Harmonic(m)
+	asym := math.Log(m+1) + eulerMascheroni + 1/(2*(m+1)) - 1/(12*(m+1)*(m+1)) - 1/(m+1)
+	if math.Abs(exact-asym) > 1e-9 {
+		t.Errorf("harmonic branches disagree at cutoff: %v vs %v", exact, asym)
+	}
+	if Harmonic(0.5) != 0 {
+		t.Error("Harmonic below 1 should be 0")
+	}
+}
+
+func TestBonferroni(t *testing.T) {
+	p := []float64{0.001, 0.02, 0.04, 0.9}
+	got := Bonferroni(p, 0.05, 0)
+	want := []bool{true, false, false, false} // threshold 0.0125
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bonferroni = %v, want %v", got, want)
+		}
+	}
+	// Explicit larger m tightens the threshold.
+	got = Bonferroni(p, 0.05, 100)
+	if got[0] != false {
+		t.Error("m=100 should reject nothing at p=0.001? threshold 5e-4")
+	}
+}
+
+func TestHolmDominatesBonferroni(t *testing.T) {
+	r := stats.NewRNG(5)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(20)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+			if r.Bernoulli(0.3) {
+				p[i] *= 1e-4 // sprinkle signals
+			}
+		}
+		bon := Bonferroni(p, 0.05, 0)
+		holm := Holm(p, 0.05)
+		for i := range p {
+			if bon[i] && !holm[i] {
+				t.Fatalf("Holm rejected less than Bonferroni at %v", p)
+			}
+		}
+	}
+}
+
+func TestBHKnownExample(t *testing.T) {
+	// Worked example: m=10, q=0.05; thresholds 0.005*i. Largest i with
+	// p_(i) <= 0.005i is i=2 (0.008 <= 0.010); i>=3 all fail.
+	p := []float64{0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205, 0.212, 0.216}
+	got := BenjaminiHochberg(p, 0.05)
+	wantRejected := 2
+	count := 0
+	for _, b := range got {
+		if b {
+			count++
+		}
+	}
+	if count != wantRejected {
+		t.Fatalf("BH rejected %d, want %d", count, wantRejected)
+	}
+	for i := 0; i < wantRejected; i++ {
+		if !got[i] {
+			t.Fatalf("BH should reject the %d smallest: %v", wantRejected, got)
+		}
+	}
+}
+
+func TestBYMoreConservativeThanBH(t *testing.T) {
+	r := stats.NewRNG(6)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(30)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+			if r.Bernoulli(0.3) {
+				p[i] *= 1e-5
+			}
+		}
+		bh := BenjaminiHochberg(p, 0.05)
+		by := BenjaminiYekutieli(p, 0.05, 0)
+		for i := range p {
+			if by[i] && !bh[i] {
+				t.Fatalf("BY rejected more than BH")
+			}
+		}
+	}
+}
+
+func TestBYExplicitM(t *testing.T) {
+	// With a huge external m, only extremely small p-values survive.
+	p := []float64{1e-20, 1e-3, 0.01}
+	m := 1e15
+	got := BenjaminiYekutieli(p, 0.05, m)
+	if !got[0] || got[1] || got[2] {
+		t.Fatalf("BY with m=1e15: %v", got)
+	}
+	thr := BYThreshold(1, 0.05, m)
+	if thr <= 0 || thr > 1e-15 {
+		t.Errorf("BY threshold = %v", thr)
+	}
+	if BYThreshold(0, 0.05, m) != 0 || BYThreshold(1, 0.05, 0) != 0 {
+		t.Error("degenerate thresholds should be 0")
+	}
+}
+
+func TestStepUpRejectsPrefixOfSorted(t *testing.T) {
+	// Any step-up output must be a prefix of the sorted p-values: if p_i is
+	// rejected then every p_j <= p_i is rejected too.
+	r := stats.NewRNG(7)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(40)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		for _, mask := range [][]bool{
+			BenjaminiHochberg(p, 0.2),
+			BenjaminiYekutieli(p, 0.2, 0),
+		} {
+			for i := range p {
+				if !mask[i] {
+					continue
+				}
+				for j := range p {
+					if p[j] <= p[i] && !mask[j] {
+						t.Fatalf("rejection set not downward closed")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBHControlsFDRSimulation(t *testing.T) {
+	// 60% true nulls with Uniform p-values, 40% alternatives with tiny
+	// p-values; the average empirical FDR over trials must be <= q (with
+	// slack for noise).
+	r := stats.NewRNG(8)
+	const trials = 2000
+	const n = 50
+	q := 0.1
+	sumFDR := 0.0
+	for trial := 0; trial < trials; trial++ {
+		p := make([]float64, n)
+		isNull := make([]bool, n)
+		for i := range p {
+			if i < 30 {
+				isNull[i] = true
+				p[i] = r.Float64()
+			} else {
+				p[i] = r.Float64() * 1e-4
+			}
+		}
+		sumFDR += EmpiricalFDR(BenjaminiHochberg(p, q), isNull)
+	}
+	avg := sumFDR / trials
+	if avg > q*1.15 {
+		t.Errorf("BH empirical FDR %v exceeds q=%v", avg, q)
+	}
+}
+
+func TestBYControlsFDRSimulation(t *testing.T) {
+	r := stats.NewRNG(9)
+	const trials = 2000
+	const n = 50
+	beta := 0.1
+	sumFDR := 0.0
+	for trial := 0; trial < trials; trial++ {
+		p := make([]float64, n)
+		isNull := make([]bool, n)
+		for i := range p {
+			if i < 30 {
+				isNull[i] = true
+				p[i] = r.Float64()
+			} else {
+				p[i] = r.Float64() * 1e-4
+			}
+		}
+		sumFDR += EmpiricalFDR(BenjaminiYekutieli(p, beta, 0), isNull)
+	}
+	avg := sumFDR / trials
+	if avg > beta*1.15 {
+		t.Errorf("BY empirical FDR %v exceeds beta=%v", avg, beta)
+	}
+}
+
+func TestEmpiricalFDRAndPower(t *testing.T) {
+	reject := []bool{true, true, false, false}
+	isNull := []bool{true, false, false, true}
+	if got := EmpiricalFDR(reject, isNull); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FDR = %v", got)
+	}
+	if got := Power(reject, isNull); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Power = %v", got)
+	}
+	if EmpiricalFDR([]bool{false}, []bool{true}) != 0 {
+		t.Error("no rejections should give FDR 0")
+	}
+	if Power([]bool{false}, []bool{true}) != 0 {
+		t.Error("no alternatives should give power 0")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := BenjaminiHochberg(nil, 0.05); got != nil {
+		t.Error("BH(nil) should be nil")
+	}
+	if got := BenjaminiYekutieli(nil, 0.05, 0); len(got) != 0 {
+		t.Error("BY(nil) should be empty")
+	}
+	if got := Bonferroni(nil, 0.05, 0); len(got) != 0 {
+		t.Error("Bonferroni(nil) should be empty")
+	}
+	if got := Holm(nil, 0.05); len(got) != 0 {
+		t.Error("Holm(nil) should be empty")
+	}
+}

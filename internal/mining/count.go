@@ -1,0 +1,119 @@
+package mining
+
+import (
+	"sigfim/internal/bitset"
+	"sigfim/internal/dataset"
+)
+
+// Multi-threshold counting. Procedure 2 needs Q_{k,s_i} for a geometric
+// ladder of thresholds s_i = s_min + 2^i; materializing the itemsets at the
+// lowest threshold can be enormous (the paper reports 27M significant
+// 4-itemsets on Bms1), so we count into a support histogram in one DFS
+// without keeping the itemsets.
+
+// CountK returns Q_{k,s} = |{X : |X|=k, support(X) >= minSupport}| without
+// materializing itemsets.
+func CountK(v *dataset.Vertical, k, minSupport int) int64 {
+	var n int64
+	VisitK(v, k, minSupport, func(Itemset, int) { n++ })
+	return n
+}
+
+// SupportHistogram counts size-k itemsets by support level: the returned
+// hist satisfies hist[s] = |{X : |X| = k, support(X) = s}| for
+// s in [minSupport, len(hist)). Q_{k,s} for any s >= minSupport is then the
+// suffix sum, see QFromHistogram.
+func SupportHistogram(v *dataset.Vertical, k, minSupport int) []int64 {
+	hist := make([]int64, v.MaxItemSupport()+1)
+	VisitK(v, k, minSupport, func(_ Itemset, sup int) {
+		hist[sup]++
+	})
+	return hist
+}
+
+// QFromHistogram returns Q_{k,s} = sum_{j >= s} hist[j].
+func QFromHistogram(hist []int64, s int) int64 {
+	if s < 0 {
+		s = 0
+	}
+	var total int64
+	for j := s; j < len(hist); j++ {
+		total += hist[j]
+	}
+	return total
+}
+
+// CumulativeQ converts a support histogram into the full Q curve:
+// out[s] = Q_{k,s} for every s in [0, len(hist)).
+func CumulativeQ(hist []int64) []int64 {
+	out := make([]int64, len(hist))
+	var acc int64
+	for s := len(hist) - 1; s >= 0; s-- {
+		acc += hist[s]
+		out[s] = acc
+	}
+	return out
+}
+
+// TopSupports returns the supports of the size-k itemsets with the largest
+// supports, capped at limit entries, in descending order. Algorithm 1 uses
+// the maximum observed support to bound its scan range.
+func TopSupports(v *dataset.Vertical, k, minSupport, limit int) []int {
+	hist := SupportHistogram(v, k, minSupport)
+	var out []int
+	for s := len(hist) - 1; s >= minSupport && len(out) < limit; s-- {
+		for c := int64(0); c < hist[s] && len(out) < limit; c++ {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MineKWithTids mines k-itemsets with support >= minSupport and hands the
+// caller each itemset together with its tid list (valid only during the
+// callback). Algorithm 1 records per-replicate supports of the union set W
+// this way.
+func MineKWithTids(v *dataset.Vertical, k, minSupport int, visit func(items Itemset, tids bitset.TidList)) {
+	if k <= 0 || minSupport < 1 {
+		panic("mining: MineKWithTids requires k >= 1 and minSupport >= 1")
+	}
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return
+	}
+	prefix := make(Itemset, 0, k)
+	var rec func(start int, tids bitset.TidList)
+	rec = func(start int, tids bitset.TidList) {
+		depth := len(prefix)
+		for i := start; i <= len(items)-(k-depth); i++ {
+			it := items[i]
+			var next bitset.TidList
+			if depth == 0 {
+				next = v.Tids[it]
+			} else {
+				next = bitset.Intersect(tids, v.Tids[it])
+			}
+			if len(next) < minSupport {
+				continue
+			}
+			prefix = append(prefix, it)
+			if depth+1 == k {
+				emitSortedTids(prefix, next, visit)
+			} else {
+				rec(i+1, next)
+			}
+			prefix = prefix[:depth]
+		}
+	}
+	rec(0, nil)
+}
+
+func emitSortedTids(prefix Itemset, tids bitset.TidList, visit func(Itemset, bitset.TidList)) {
+	tmp := prefix.Clone()
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	visit(tmp, tids)
+}

@@ -1,0 +1,223 @@
+package mining
+
+import (
+	"sort"
+
+	"sigfim/internal/bitset"
+	"sigfim/internal/dataset"
+)
+
+// Eclat: vertical depth-first mining. The search tree is the prefix tree over
+// items ordered by ascending support; each node carries the tid list (or
+// bitset) of its prefix, refined by intersection as the search descends.
+// Fixed-size-k mining prunes the tree at depth k, which is what the paper's
+// procedures need (they mine k-itemsets for one k at a time).
+
+// eclatDensityThreshold selects the bitset representation when average item
+// support exceeds this fraction of t (dense columns intersect faster as
+// words), and tid lists otherwise.
+const eclatDensityThreshold = 1.0 / 16
+
+// EclatK mines all k-itemsets with support >= minSupport, choosing the
+// physical representation automatically.
+func EclatK(v *dataset.Vertical, k, minSupport int) []Result {
+	if dense(v, minSupport) {
+		return EclatKBitset(v, k, minSupport)
+	}
+	return EclatKTidList(v, k, minSupport)
+}
+
+// dense estimates whether frequent columns are dense enough for bitsets.
+func dense(v *dataset.Vertical, minSupport int) bool {
+	if v.NumTransactions == 0 {
+		return false
+	}
+	total, cnt := 0, 0
+	for _, l := range v.Tids {
+		if len(l) >= minSupport {
+			total += len(l)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return false
+	}
+	avg := float64(total) / float64(cnt)
+	return avg/float64(v.NumTransactions) > eclatDensityThreshold
+}
+
+// frequentItems returns items with support >= minSupport sorted by ascending
+// support (the standard Eclat ordering: least frequent first shrinks
+// intersections early).
+func frequentItems(v *dataset.Vertical, minSupport int) []uint32 {
+	items := make([]uint32, 0)
+	for it, l := range v.Tids {
+		if len(l) >= minSupport {
+			items = append(items, uint32(it))
+		}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		la, lb := len(v.Tids[items[a]]), len(v.Tids[items[b]])
+		if la != lb {
+			return la < lb
+		}
+		return items[a] < items[b]
+	})
+	return items
+}
+
+// EclatKTidList is EclatK with sorted tid-list intersections.
+func EclatKTidList(v *dataset.Vertical, k, minSupport int) []Result {
+	var out []Result
+	eclatKTidList(v, k, minSupport, func(items Itemset, support int) {
+		out = append(out, Result{Items: items.Clone(), Support: support})
+	})
+	return out
+}
+
+// eclatKTidList runs the DFS, invoking emit for every size-k itemset found.
+// emit receives a scratch slice valid only during the call.
+func eclatKTidList(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) {
+	if k <= 0 || minSupport < 1 {
+		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
+	}
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return
+	}
+	prefix := make(Itemset, 0, k)
+	var rec func(start int, tids bitset.TidList)
+	rec = func(start int, tids bitset.TidList) {
+		depth := len(prefix)
+		for i := start; i <= len(items)-(k-depth); i++ {
+			it := items[i]
+			var next bitset.TidList
+			var sup int
+			if depth == 0 {
+				next = v.Tids[it]
+				sup = len(next)
+			} else {
+				next = bitset.Intersect(tids, v.Tids[it])
+				sup = len(next)
+			}
+			if sup < minSupport {
+				continue
+			}
+			prefix = append(prefix, it)
+			if depth+1 == k {
+				emitSorted(prefix, sup, emit)
+			} else {
+				rec(i+1, next)
+			}
+			prefix = prefix[:depth]
+		}
+	}
+	rec(0, nil)
+}
+
+// emitSorted hands emit a sorted view of the prefix (items were visited in
+// support order, not id order).
+func emitSorted(prefix Itemset, sup int, emit func(Itemset, int)) {
+	tmp := prefix.Clone()
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	emit(tmp, sup)
+}
+
+// EclatKBitset is EclatK with dense bitset intersections.
+func EclatKBitset(v *dataset.Vertical, k, minSupport int) []Result {
+	var out []Result
+	eclatKBitset(v, k, minSupport, func(items Itemset, support int) {
+		out = append(out, Result{Items: items.Clone(), Support: support})
+	})
+	return out
+}
+
+func eclatKBitset(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) {
+	if k <= 0 || minSupport < 1 {
+		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
+	}
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return
+	}
+	t := v.NumTransactions
+	cols := make(map[uint32]*bitset.Bitset, len(items))
+	for _, it := range items {
+		cols[it] = v.Tids[it].ToBitset(t)
+	}
+	// Scratch bitsets, one per depth, reused across the whole search.
+	scratch := make([]*bitset.Bitset, k)
+	for i := range scratch {
+		scratch[i] = bitset.New(t)
+	}
+	prefix := make(Itemset, 0, k)
+	var rec func(start int, acc *bitset.Bitset)
+	rec = func(start int, acc *bitset.Bitset) {
+		depth := len(prefix)
+		for i := start; i <= len(items)-(k-depth); i++ {
+			it := items[i]
+			var sup int
+			var next *bitset.Bitset
+			if depth == 0 {
+				next = cols[it]
+				sup = len(v.Tids[it])
+			} else {
+				next = scratch[depth]
+				next.And(acc, cols[it])
+				sup = next.Count()
+			}
+			if sup < minSupport {
+				continue
+			}
+			prefix = append(prefix, it)
+			if depth+1 == k {
+				emitSorted(prefix, sup, emit)
+			} else {
+				rec(i+1, next)
+			}
+			prefix = prefix[:depth]
+		}
+	}
+	rec(0, nil)
+}
+
+// EclatAll mines every itemset (any size >= 1 up to maxLen; maxLen <= 0 means
+// unbounded) with support >= minSupport using tid lists.
+func EclatAll(v *dataset.Vertical, minSupport, maxLen int) []Result {
+	if minSupport < 1 {
+		panic("mining: EclatAll requires minSupport >= 1")
+	}
+	items := frequentItems(v, minSupport)
+	var out []Result
+	prefix := make(Itemset, 0, 16)
+	var rec func(start int, tids bitset.TidList)
+	rec = func(start int, tids bitset.TidList) {
+		depth := len(prefix)
+		if maxLen > 0 && depth == maxLen {
+			return
+		}
+		for i := start; i < len(items); i++ {
+			it := items[i]
+			var next bitset.TidList
+			var sup int
+			if depth == 0 {
+				next = v.Tids[it]
+				sup = len(next)
+			} else {
+				next = bitset.Intersect(tids, v.Tids[it])
+				sup = len(next)
+			}
+			if sup < minSupport {
+				continue
+			}
+			prefix = append(prefix, it)
+			emitSorted(prefix, sup, func(is Itemset, s int) {
+				out = append(out, Result{Items: is, Support: s})
+			})
+			rec(i+1, next)
+			prefix = prefix[:depth]
+		}
+	}
+	rec(0, nil)
+	return out
+}

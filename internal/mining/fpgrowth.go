@@ -1,0 +1,168 @@
+package mining
+
+import (
+	"sort"
+
+	"sigfim/internal/dataset"
+)
+
+// FP-Growth: compresses the dataset into a frequent-pattern tree (items
+// ordered by descending support so common prefixes share nodes), then mines
+// recursively by building conditional trees per suffix item. No candidate
+// generation; each recursion multiplies the suffix pattern.
+
+// fpNode is one FP-tree node.
+type fpNode struct {
+	item     uint32
+	count    int
+	parent   *fpNode
+	children map[uint32]*fpNode
+	next     *fpNode // header-table chain of nodes carrying the same item
+}
+
+// fpTree is an FP-tree with its header table.
+type fpTree struct {
+	root    *fpNode
+	heads   map[uint32]*fpNode // first node per item
+	tails   map[uint32]*fpNode // last node per item, for O(1) chain append
+	support map[uint32]int     // item support within this (conditional) tree
+	order   map[uint32]int     // global rank: lower rank = more frequent
+}
+
+func newFPTree(order map[uint32]int) *fpTree {
+	return &fpTree{
+		root:    &fpNode{children: make(map[uint32]*fpNode)},
+		heads:   make(map[uint32]*fpNode),
+		tails:   make(map[uint32]*fpNode),
+		support: make(map[uint32]int),
+		order:   order,
+	}
+}
+
+// insert adds a transaction (already filtered to frequent items and sorted by
+// rank) with multiplicity count.
+func (t *fpTree) insert(items []uint32, count int) {
+	node := t.root
+	for _, it := range items {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: make(map[uint32]*fpNode)}
+			node.children[it] = child
+			if t.heads[it] == nil {
+				t.heads[it] = child
+				t.tails[it] = child
+			} else {
+				t.tails[it].next = child
+				t.tails[it] = child
+			}
+		}
+		child.count += count
+		t.support[it] += count
+		node = child
+	}
+}
+
+// FPGrowthAll mines every itemset of size 1..maxLen (maxLen <= 0: unbounded)
+// with support >= minSupport.
+func FPGrowthAll(d *dataset.Dataset, minSupport, maxLen int) []Result {
+	if minSupport < 1 {
+		panic("mining: FPGrowth requires minSupport >= 1")
+	}
+	supports := d.ItemSupports()
+	// Rank items by descending support (ties by id) and keep frequent ones.
+	type itemSup struct {
+		item uint32
+		sup  int
+	}
+	var freq []itemSup
+	for it, s := range supports {
+		if s >= minSupport {
+			freq = append(freq, itemSup{uint32(it), s})
+		}
+	}
+	sort.Slice(freq, func(i, j int) bool {
+		if freq[i].sup != freq[j].sup {
+			return freq[i].sup > freq[j].sup
+		}
+		return freq[i].item < freq[j].item
+	})
+	order := make(map[uint32]int, len(freq))
+	for rank, is := range freq {
+		order[is.item] = rank
+	}
+	tree := newFPTree(order)
+	scratch := make([]uint32, 0, 64)
+	for _, tr := range d.Transactions() {
+		scratch = scratch[:0]
+		for _, it := range tr {
+			if _, ok := order[it]; ok {
+				scratch = append(scratch, it)
+			}
+		}
+		sort.Slice(scratch, func(a, b int) bool { return order[scratch[a]] < order[scratch[b]] })
+		if len(scratch) > 0 {
+			tree.insert(scratch, 1)
+		}
+	}
+	var out []Result
+	suffix := make(Itemset, 0, 16)
+	fpMine(tree, minSupport, maxLen, suffix, &out)
+	for i := range out {
+		sort.Slice(out[i].Items, func(a, b int) bool { return out[i].Items[a] < out[i].Items[b] })
+	}
+	sortByItems(out)
+	return out
+}
+
+// FPGrowthK mines exactly the k-itemsets with support >= minSupport.
+func FPGrowthK(d *dataset.Dataset, k, minSupport int) []Result {
+	all := FPGrowthAll(d, minSupport, k)
+	out := all[:0]
+	for _, r := range all {
+		if len(r.Items) == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// fpMine emits suffix-extended patterns from the (conditional) tree.
+func fpMine(t *fpTree, minSupport, maxLen int, suffix Itemset, out *[]Result) {
+	if maxLen > 0 && len(suffix) >= maxLen {
+		return
+	}
+	// Visit items by ascending support rank order descending (least frequent
+	// first is traditional; any order is correct).
+	items := make([]uint32, 0, len(t.support))
+	for it, s := range t.support {
+		if s >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return t.order[items[a]] > t.order[items[b]] })
+	for _, it := range items {
+		pattern := append(suffix.Clone(), it)
+		*out = append(*out, Result{Items: pattern, Support: t.support[it]})
+		if maxLen > 0 && len(pattern) >= maxLen {
+			continue
+		}
+		// Build the conditional tree: prefix paths of every node carrying it.
+		cond := newFPTree(t.order)
+		for node := t.heads[it]; node != nil; node = node.next {
+			var path []uint32
+			for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is bottom-up; reverse to root-down rank order.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			if len(path) > 0 {
+				cond.insert(path, node.count)
+			}
+		}
+		if len(cond.support) > 0 {
+			fpMine(cond, minSupport, maxLen, pattern, out)
+		}
+	}
+}

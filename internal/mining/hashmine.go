@@ -1,0 +1,151 @@
+package mining
+
+import (
+	"sigfim/internal/dataset"
+)
+
+// Low-threshold mining path. Eclat's pruning collapses when minSupport is a
+// handful of transactions: with threshold 1 every item is "frequent" and the
+// DFS probes every candidate extension even though almost all have empty
+// intersections. For sparse datasets (short transactions) the k-itemsets
+// with support >= 1 are exactly the k-subsets occurring inside transactions,
+// so enumerating each transaction's C(len, k) subsets into a hash table is
+// dramatically cheaper. The dispatcher VisitK estimates that enumeration
+// cost from the transaction length histogram and picks the faster strategy.
+
+// subsetBudget caps the per-transaction enumeration volume (and with it the
+// hash table size) before falling back to Eclat.
+const subsetBudget = 3_000_000
+
+// hashPathMaxSupport bounds the thresholds for which the hash path is even
+// considered; at higher thresholds Eclat's pruning works fine.
+const hashPathMaxSupport = 8
+
+// transactionLengths recovers the per-transaction lengths from the vertical
+// layout in O(total occurrences).
+func transactionLengths(v *dataset.Vertical) []int {
+	lens := make([]int, v.NumTransactions)
+	for _, l := range v.Tids {
+		for _, tid := range l {
+			lens[tid]++
+		}
+	}
+	return lens
+}
+
+// subsetEnumerationCost returns sum over transactions of C(len, k), capped
+// at limit+1 once it exceeds the limit.
+func subsetEnumerationCost(lens []int, k int, limit int64) int64 {
+	var total int64
+	for _, n := range lens {
+		if n < k {
+			continue
+		}
+		// C(n, k) with overflow care for the small k we use (k <= ~8).
+		c := int64(1)
+		for i := 0; i < k; i++ {
+			c = c * int64(n-i) / int64(i+1)
+			if c > limit {
+				return limit + 1
+			}
+		}
+		total += c
+		if total > limit {
+			return limit + 1
+		}
+	}
+	return total
+}
+
+// useHashPath decides whether transaction-subset enumeration beats Eclat.
+func useHashPath(v *dataset.Vertical, k, minSupport int) bool {
+	if k < 2 || minSupport > hashPathMaxSupport {
+		return false
+	}
+	lens := transactionLengths(v)
+	return subsetEnumerationCost(lens, k, subsetBudget) <= subsetBudget
+}
+
+// hashMineK enumerates every k-subset of every transaction, counts them in a
+// hash table, and emits those reaching minSupport. emit receives a scratch
+// itemset valid only during the call.
+func hashMineK(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) {
+	// Rebuild horizontal transactions from the vertical layout.
+	lens := transactionLengths(v)
+	tx := make([][]uint32, v.NumTransactions)
+	for tid, n := range lens {
+		if n >= k {
+			tx[tid] = make([]uint32, 0, n)
+		}
+	}
+	for item, l := range v.Tids {
+		for _, tid := range l {
+			if tx[tid] != nil {
+				tx[tid] = append(tx[tid], uint32(item))
+			}
+		}
+	}
+	counts := make(map[string]int32)
+	idx := make(Itemset, k)
+	key := make([]byte, 4*k)
+	for _, tr := range tx {
+		if len(tr) < k {
+			continue
+		}
+		var rec func(pos, start int)
+		rec = func(pos, start int) {
+			if pos == k {
+				for i, it := range idx {
+					key[4*i] = byte(it)
+					key[4*i+1] = byte(it >> 8)
+					key[4*i+2] = byte(it >> 16)
+					key[4*i+3] = byte(it >> 24)
+				}
+				counts[string(key)]++
+				return
+			}
+			for i := start; i <= len(tr)-(k-pos); i++ {
+				idx[pos] = tr[i]
+				rec(pos+1, i+1)
+			}
+		}
+		rec(0, 0)
+	}
+	for kk, c := range counts {
+		if int(c) >= minSupport {
+			emit(KeyToItemset(kk), int(c))
+		}
+	}
+}
+
+// VisitK streams every k-itemset with support >= minSupport to emit,
+// choosing between Eclat DFS and transaction-subset enumeration by cost.
+// The itemset slice passed to emit is only valid during the call.
+func VisitK(v *dataset.Vertical, k, minSupport int, emit func(items Itemset, support int)) {
+	if k < 1 || minSupport < 1 {
+		panic("mining: VisitK requires k >= 1 and minSupport >= 1")
+	}
+	if k == 1 {
+		for it, l := range v.Tids {
+			if len(l) >= minSupport {
+				emit(Itemset{uint32(it)}, len(l))
+			}
+		}
+		return
+	}
+	if useHashPath(v, k, minSupport) {
+		hashMineK(v, k, minSupport, emit)
+		return
+	}
+	eclatKTidList(v, k, minSupport, emit)
+}
+
+// MineK mines size-k itemsets with the automatic strategy choice,
+// materializing the results.
+func MineK(v *dataset.Vertical, k, minSupport int) []Result {
+	var out []Result
+	VisitK(v, k, minSupport, func(items Itemset, sup int) {
+		out = append(out, Result{Items: items.Clone(), Support: sup})
+	})
+	return out
+}

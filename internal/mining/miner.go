@@ -1,0 +1,112 @@
+package mining
+
+import (
+	"fmt"
+
+	"sigfim/internal/dataset"
+)
+
+// Algorithm selects the mining strategy.
+type Algorithm int
+
+const (
+	// Auto picks Eclat with an automatically chosen physical layout.
+	Auto Algorithm = iota
+	// EclatTids forces vertical mining over sorted tid lists.
+	EclatTids
+	// EclatBits forces vertical mining over dense bitsets.
+	EclatBits
+	// Apriori forces level-wise horizontal mining.
+	Apriori
+	// FPGrowth forces FP-tree mining.
+	FPGrowth
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case EclatTids:
+		return "eclat-tids"
+	case EclatBits:
+		return "eclat-bits"
+	case Apriori:
+		return "apriori"
+	case FPGrowth:
+		return "fpgrowth"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a mining run.
+type Options struct {
+	// K restricts output to itemsets of exactly this size when positive;
+	// zero mines all sizes (bounded by MaxLen).
+	K int
+	// MinSupport is the absolute support threshold (>= 1).
+	MinSupport int
+	// MaxLen caps itemset size when K is zero; <= 0 means unbounded.
+	MaxLen int
+	// Algorithm selects the strategy; Auto by default.
+	Algorithm Algorithm
+}
+
+// Mine runs the configured algorithm against the dataset. Both layouts are
+// accepted; whichever the algorithm does not need is derived on the fly.
+func Mine(d *dataset.Dataset, opts Options) ([]Result, error) {
+	if opts.MinSupport < 1 {
+		return nil, fmt.Errorf("mining: MinSupport must be >= 1, got %d", opts.MinSupport)
+	}
+	if opts.K < 0 {
+		return nil, fmt.Errorf("mining: K must be >= 0, got %d", opts.K)
+	}
+	switch opts.Algorithm {
+	case Auto, EclatTids, EclatBits:
+		return MineVertical(d.Vertical(), opts)
+	case Apriori:
+		if opts.K > 0 {
+			return AprioriK(d, opts.K, opts.MinSupport), nil
+		}
+		return AprioriAll(d, opts.MinSupport, opts.MaxLen), nil
+	case FPGrowth:
+		if opts.K > 0 {
+			return FPGrowthK(d, opts.K, opts.MinSupport), nil
+		}
+		return FPGrowthAll(d, opts.MinSupport, opts.MaxLen), nil
+	default:
+		return nil, fmt.Errorf("mining: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// MineVertical mines directly from the vertical layout (the natural input
+// when datasets come from the random generator). Only the Eclat variants
+// apply; Auto picks the layout by density.
+func MineVertical(v *dataset.Vertical, opts Options) ([]Result, error) {
+	if opts.MinSupport < 1 {
+		return nil, fmt.Errorf("mining: MinSupport must be >= 1, got %d", opts.MinSupport)
+	}
+	switch opts.Algorithm {
+	case Auto:
+		if opts.K > 0 {
+			return EclatK(v, opts.K, opts.MinSupport), nil
+		}
+		return EclatAll(v, opts.MinSupport, opts.MaxLen), nil
+	case EclatTids:
+		if opts.K > 0 {
+			return EclatKTidList(v, opts.K, opts.MinSupport), nil
+		}
+		return EclatAll(v, opts.MinSupport, opts.MaxLen), nil
+	case EclatBits:
+		if opts.K > 0 {
+			return EclatKBitset(v, opts.K, opts.MinSupport), nil
+		}
+		return EclatAll(v, opts.MinSupport, opts.MaxLen), nil
+	case Apriori, FPGrowth:
+		d := v.Horizontal()
+		return Mine(d, opts)
+	default:
+		return nil, fmt.Errorf("mining: unknown algorithm %v", opts.Algorithm)
+	}
+}

@@ -1,0 +1,303 @@
+package mining
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sigfim/internal/bitset"
+	"sigfim/internal/dataset"
+	"sigfim/internal/stats"
+)
+
+// bruteMineK enumerates all k-subsets of the item universe and counts
+// supports by scanning; the ground truth for the algorithm tests.
+func bruteMineK(d *dataset.Dataset, k, minSupport int) []Result {
+	n := d.NumItems()
+	var out []Result
+	idx := make([]int, k)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			items := make(Itemset, k)
+			for i, v := range idx {
+				items[i] = uint32(v)
+			}
+			sup := d.Support(items)
+			if sup >= minSupport {
+				out = append(out, Result{Items: items, Support: sup})
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[pos] = i
+			rec(pos+1, i+1)
+		}
+	}
+	if k >= 1 && k <= n {
+		rec(0, 0)
+	}
+	return out
+}
+
+// randomDataset builds a small random dataset for property tests.
+func randomDataset(r *stats.RNG, maxItems, maxT int) *dataset.Dataset {
+	n := 2 + r.Intn(maxItems-1)
+	t := 1 + r.Intn(maxT)
+	tx := make([][]uint32, t)
+	p := 0.1 + 0.5*r.Float64()
+	for i := range tx {
+		for it := 0; it < n; it++ {
+			if r.Bernoulli(p) {
+				tx[i] = append(tx[i], uint32(it))
+			}
+		}
+	}
+	return dataset.MustNew(n, tx)
+}
+
+func resultsEqual(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortByItems(a)
+	sortByItems(b)
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Support != b[i].Support {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllAlgorithmsAgreeWithBruteForce(t *testing.T) {
+	r := stats.NewRNG(2025)
+	for trial := 0; trial < 40; trial++ {
+		d := randomDataset(r, 9, 40)
+		v := d.Vertical()
+		for k := 1; k <= 4; k++ {
+			for _, minSup := range []int{1, 2, 5} {
+				want := bruteMineK(d, k, minSup)
+				algos := map[string][]Result{
+					"eclat-tids": EclatKTidList(v, k, minSup),
+					"eclat-bits": EclatKBitset(v, k, minSup),
+					"apriori":    AprioriK(d, k, minSup),
+					"fpgrowth":   FPGrowthK(d, k, minSup),
+				}
+				for name, got := range algos {
+					if !resultsEqual(got, append([]Result(nil), want...)) {
+						t.Fatalf("trial %d %s k=%d minSup=%d: got %d results, want %d",
+							trial, name, k, minSup, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllSizesAgree(t *testing.T) {
+	r := stats.NewRNG(77)
+	for trial := 0; trial < 20; trial++ {
+		d := randomDataset(r, 8, 30)
+		v := d.Vertical()
+		for _, minSup := range []int{1, 3} {
+			eclat := EclatAll(v, minSup, 0)
+			apriori := AprioriAll(d, minSup, 0)
+			fp := FPGrowthAll(d, minSup, 0)
+			if !resultsEqual(eclat, apriori) {
+				t.Fatalf("trial %d minSup=%d: eclat %d vs apriori %d results",
+					trial, minSup, len(eclat), len(apriori))
+			}
+			if !resultsEqual(eclat, fp) {
+				t.Fatalf("trial %d minSup=%d: eclat %d vs fpgrowth %d results",
+					trial, minSup, len(eclat), len(fp))
+			}
+		}
+	}
+}
+
+func TestMaxLenCap(t *testing.T) {
+	r := stats.NewRNG(31)
+	d := randomDataset(r, 8, 30)
+	v := d.Vertical()
+	for _, maxLen := range []int{1, 2, 3} {
+		for _, rs := range [][]Result{
+			EclatAll(v, 2, maxLen),
+			AprioriAll(d, 2, maxLen),
+			FPGrowthAll(d, 2, maxLen),
+		} {
+			for _, res := range rs {
+				if len(res.Items) > maxLen {
+					t.Fatalf("maxLen=%d violated by %v", maxLen, res.Items)
+				}
+			}
+		}
+	}
+}
+
+func TestMineFacade(t *testing.T) {
+	r := stats.NewRNG(99)
+	d := randomDataset(r, 8, 40)
+	want := bruteMineK(d, 2, 3)
+	for _, algo := range []Algorithm{Auto, EclatTids, EclatBits, Apriori, FPGrowth} {
+		got, err := Mine(d, Options{K: 2, MinSupport: 3, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !resultsEqual(got, append([]Result(nil), want...)) {
+			t.Fatalf("%v disagrees with brute force", algo)
+		}
+	}
+	if _, err := Mine(d, Options{K: 2, MinSupport: 0}); err == nil {
+		t.Error("MinSupport 0 accepted")
+	}
+	if _, err := Mine(d, Options{K: -1, MinSupport: 1}); err == nil {
+		t.Error("negative K accepted")
+	}
+	if _, err := Mine(d, Options{K: 1, MinSupport: 1, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Vertical facade with horizontal algorithms round-trips.
+	got, err := MineVertical(d.Vertical(), Options{K: 2, MinSupport: 3, Algorithm: FPGrowth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(got, append([]Result(nil), want...)) {
+		t.Fatal("MineVertical(FPGrowth) disagrees")
+	}
+}
+
+func TestCountKMatchesMine(t *testing.T) {
+	r := stats.NewRNG(123)
+	for trial := 0; trial < 20; trial++ {
+		d := randomDataset(r, 9, 40)
+		v := d.Vertical()
+		for k := 1; k <= 3; k++ {
+			for _, s := range []int{1, 2, 4} {
+				if got, want := CountK(v, k, s), int64(len(EclatKTidList(v, k, s))); got != want {
+					t.Fatalf("CountK(k=%d,s=%d) = %d, want %d", k, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSupportHistogram(t *testing.T) {
+	r := stats.NewRNG(321)
+	d := randomDataset(r, 8, 50)
+	v := d.Vertical()
+	k, minSup := 2, 1
+	hist := SupportHistogram(v, k, minSup)
+	// Q from histogram must match direct counting at every threshold.
+	q := CumulativeQ(hist)
+	for s := minSup; s < len(hist); s++ {
+		want := CountK(v, k, s)
+		if got := QFromHistogram(hist, s); got != want {
+			t.Fatalf("QFromHistogram(%d) = %d, want %d", s, got, want)
+		}
+		if q[s] != want {
+			t.Fatalf("CumulativeQ[%d] = %d, want %d", s, q[s], want)
+		}
+	}
+	if got := QFromHistogram(hist, -5); got != QFromHistogram(hist, 0) {
+		t.Error("negative threshold should clamp to 0")
+	}
+}
+
+func TestTopSupports(t *testing.T) {
+	d := dataset.MustNew(4, [][]uint32{
+		{0, 1}, {0, 1}, {0, 1}, {0, 2}, {1, 2}, {2, 3},
+	})
+	v := d.Vertical()
+	top := TopSupports(v, 2, 1, 3)
+	if len(top) != 3 || top[0] != 3 {
+		t.Fatalf("TopSupports = %v", top)
+	}
+	if !sort.SliceIsSorted(top, func(i, j int) bool { return top[i] > top[j] }) {
+		t.Fatalf("TopSupports not descending: %v", top)
+	}
+}
+
+func TestMineKWithTids(t *testing.T) {
+	d := dataset.MustNew(3, [][]uint32{
+		{0, 1, 2}, {0, 1}, {1, 2}, {0, 1, 2},
+	})
+	v := d.Vertical()
+	got := map[string]int{}
+	MineKWithTids(v, 2, 2, func(items Itemset, tids bitset.TidList) {
+		got[items.Key()] = len(tids)
+		// Tids must actually be the supporting transactions.
+		for _, tid := range tids {
+			for _, it := range items {
+				found := false
+				for _, x := range d.Transaction(int(tid)) {
+					if x == it {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("tid %d does not contain item %d", tid, it)
+				}
+			}
+		}
+	})
+	want := map[string]int{
+		NewItemset(0, 1).Key(): 3,
+		NewItemset(0, 2).Key(): 2,
+		NewItemset(1, 2).Key(): 3,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d itemsets, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("support mismatch for %v: %d vs %d", KeyToItemset(k), got[k], v)
+		}
+	}
+}
+
+func TestItemsetOps(t *testing.T) {
+	s := NewItemset(3, 1, 2, 1)
+	if !s.Equal(Itemset{1, 2, 3}) {
+		t.Fatalf("NewItemset = %v", s)
+	}
+	if !s.Contains(2) || s.Contains(4) {
+		t.Error("Contains")
+	}
+	if !(Itemset{1, 3}).SubsetOf(s) || (Itemset{1, 4}).SubsetOf(s) {
+		t.Error("SubsetOf")
+	}
+	if !s.Intersects(Itemset{3, 9}) || s.Intersects(Itemset{4, 9}) {
+		t.Error("Intersects")
+	}
+	u := (Itemset{1, 3}).Union(Itemset{2, 3, 5})
+	if !u.Equal(Itemset{1, 2, 3, 5}) {
+		t.Fatalf("Union = %v", u)
+	}
+	if got := KeyToItemset(s.Key()); !got.Equal(s) {
+		t.Fatalf("Key round trip = %v", got)
+	}
+}
+
+func TestItemsetKeyRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := NewItemset(raw...)
+		return KeyToItemset(s.Key()).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortResultsDeterministic(t *testing.T) {
+	rs := []Result{
+		{Items: Itemset{2}, Support: 5},
+		{Items: Itemset{1}, Support: 5},
+		{Items: Itemset{0}, Support: 7},
+		{Items: Itemset{1, 2}, Support: 5},
+	}
+	SortResults(rs)
+	if rs[0].Support != 7 || !rs[1].Items.Equal(Itemset{1}) || !rs[2].Items.Equal(Itemset{1, 2}) {
+		t.Fatalf("SortResults order = %v", rs)
+	}
+}

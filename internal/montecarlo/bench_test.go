@@ -1,0 +1,64 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+// Algorithm 1 benchmarks: replicate mining dominates; the evaluator and the
+// crossing search must stay negligible next to it.
+
+func benchModelMC() randmodel.IndependentModel {
+	z := stats.FitPowerLaw(500, 1e-4, 0.1, 4)
+	return randmodel.IndependentModel{T: 20000, Freqs: z.Frequencies()}
+}
+
+func BenchmarkFindPoissonThresholdK2(b *testing.B) {
+	m := benchModelMC()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindPoissonThreshold(m, Config{K: 2, Delta: 40, Epsilon: 0.01, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindPoissonThresholdK3(b *testing.B) {
+	m := benchModelMC()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindPoissonThreshold(m, Config{K: 3, Delta: 40, Epsilon: 0.01, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateLambda(b *testing.B) {
+	m := benchModelMC()
+	for i := 0; i < b.N; i++ {
+		EstimateLambda(m, 2, 30, 20, 7)
+	}
+}
+
+func BenchmarkEvaluatorEval(b *testing.B) {
+	m := benchModelMC()
+	res, err := FindPoissonThreshold(m, Config{K: 2, Delta: 60, Epsilon: 0.01, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Rebuild a collection at the result's floor for direct evaluator timing.
+	root := stats.NewRNG(3)
+	seeds := make([]uint64, 60)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	col, err := mineAll(m, seeds, 2, res.Floor, 50_000_000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := newEvaluator(col, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.eval(res.SMin)
+	}
+}

@@ -1,0 +1,475 @@
+// Package montecarlo implements Algorithm 1 of the paper
+// (FindPoissonThreshold): a Monte Carlo estimate of the support threshold
+// s_min above which the count Q̂_{k,s} of frequent k-itemsets in a random
+// dataset is approximately Poisson.
+//
+// The estimator generates Delta independent datasets from the null model,
+// mines the k-itemsets with support at least s-tilde (the largest expected
+// k-itemset support) from each, and estimates the Chen-Stein quantities
+// b1(s) and b2(s) from the empirical marginal and joint exceedance
+// frequencies of the union set W. The returned threshold is
+//
+//	ŝ_min = min{ s > s-tilde : b̂1(s) + b̂2(s) <= eps/4 },
+//
+// halving s-tilde and re-mining when even s-tilde already satisfies the
+// bound (the paper's goto). Theorem 4: Delta = O(log(1/delta)/eps)
+// replicates suffice for ŝ_min to be sound with probability 1 - delta.
+//
+// Both b̂1 and b̂2 are non-increasing in s, so instead of scanning every
+// support level the search gallops downward from the maximum observed
+// support and finishes with a binary search; each evaluation touches only
+// the itemsets still live at that s, which keeps the expensive low-s
+// evaluations out of the search path entirely.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"sigfim/internal/mining"
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+// Config parameterizes Algorithm 1.
+type Config struct {
+	// K is the itemset size under study.
+	K int
+	// Delta is the number of random replicates (the paper's ∆; 1000 in the
+	// paper's experiments).
+	Delta int
+	// Epsilon is the Poisson-approximation tolerance (the paper uses 0.01);
+	// the acceptance test inside the algorithm uses Epsilon/4 per Theorem 4.
+	Epsilon float64
+	// Seed fixes the replicate streams.
+	Seed uint64
+	// MaxEntries caps the total number of (itemset, replicate) support
+	// records; the estimator fails rather than exhaust memory when the
+	// mining floor would collect more. Zero means 50 million.
+	MaxEntries int
+	// MaxHalvings bounds the s-tilde halving loop. Zero means 20.
+	MaxHalvings int
+	// Workers bounds the goroutines mining replicates concurrently. Zero
+	// means GOMAXPROCS. Results are merged in replicate order, so the
+	// output is identical for any worker count.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 50_000_000
+	}
+	if c.MaxHalvings == 0 {
+		c.MaxHalvings = 20
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("montecarlo: K must be >= 1, got %d", c.K)
+	}
+	if c.Delta < 1 {
+		return fmt.Errorf("montecarlo: Delta must be >= 1, got %d", c.Delta)
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("montecarlo: Epsilon must be in (0,1), got %v", c.Epsilon)
+	}
+	return nil
+}
+
+// DeltaForConfidence returns the Theorem 4 replicate count 8 ln(1/delta)/eps
+// guaranteeing Pr(b1(ŝ_min)+b2(ŝ_min) <= eps) >= 1 - delta.
+func DeltaForConfidence(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		panic("montecarlo: DeltaForConfidence domain error")
+	}
+	return int(math.Ceil(8 * math.Log(1/delta) / eps))
+}
+
+// BoundPoint is one evaluated point of the empirical bound curve. Partial
+// marks points whose accumulation stopped early once the bound provably
+// exceeded the acceptance target; their B1/B2 are lower bounds on the true
+// values.
+type BoundPoint struct {
+	S       int
+	B1      float64
+	B2      float64
+	Partial bool
+}
+
+// Result carries the estimated threshold plus the by-products Procedure 2
+// reuses: the empirical lambda estimator and the evaluation trace.
+type Result struct {
+	// SMin is the estimated Poisson threshold ŝ_min.
+	SMin int
+	// STilde is the final (possibly halved) s-tilde the estimate ran with.
+	STilde float64
+	// Floor is the integer mining threshold that produced W.
+	Floor int
+	// SMax is one past the maximum support observed in any replicate.
+	SMax int
+	// NumItemsets is |W|, the union count of distinct itemsets mined.
+	NumItemsets int
+	// Curve lists every (s, b1, b2) evaluation performed, ascending in s.
+	Curve []BoundPoint
+	// Delta is the replicate count used.
+	Delta int
+
+	// allSupports holds every recorded support across replicates, sorted
+	// ascending; Lambda(s) = (#supports >= s) / Delta.
+	allSupports []int
+}
+
+// Lambda returns the Monte Carlo estimate of E[Q̂_{k,s}] for any s >= Floor,
+// reusing the Algorithm 1 replicates exactly as the paper prescribes for
+// Procedure 2's lambda_i values.
+func (r *Result) Lambda(s int) float64 {
+	if s < r.Floor {
+		panic(fmt.Sprintf("montecarlo: Lambda(%d) below mining floor %d", s, r.Floor))
+	}
+	idx := sort.SearchInts(r.allSupports, s)
+	return float64(len(r.allSupports)-idx) / float64(r.Delta)
+}
+
+// entry records one replicate's support of one itemset.
+type entry struct {
+	rep int32
+	sup int32
+}
+
+// collection holds the mined union set W with per-replicate supports.
+//
+// pruneFloor is the adaptive retention threshold: when the entry volume
+// exceeds the soft cap, entries below a raised pruneFloor are discarded.
+// Dropping them is sound because at the moment of pruning there were more
+// than softCap recorded (itemset, replicate) pairs with support >= the old
+// floor, and the diagonal terms of b1 alone give
+//
+//	b1(s) >= sum_X p_X(s)^2 >= numEntry / Delta^2   for every s <= old floor
+//
+// (each entry contributes at least (1/Delta)^2 through its itemset's
+// square), which dwarfs eps/4 for any usable configuration — so every
+// support level below pruneFloor is already known to fail the Poisson
+// acceptance test and never needs an exact evaluation.
+type collection struct {
+	items      []mining.Itemset // W, indexed by id
+	entries    [][]entry        // per itemset, ascending rep
+	index      map[string]int   // itemset key -> id
+	maxSup     int
+	numEntry   int
+	pruneFloor int
+}
+
+// softCapFor returns the entry volume at which pruning kicks in; it must
+// exceed Delta^2 * eps / 4 for the prune justification above to hold, which
+// 2M does for every Delta up to ~28000 at eps = 0.01.
+func softCapFor(delta int) int {
+	limit := 2_000_000
+	if need := delta * delta; limit < need {
+		limit = need
+	}
+	return limit
+}
+
+// prune raises pruneFloor until at most target entries remain, rebuilding
+// the compact structures.
+func (col *collection) prune(target int) {
+	// Histogram of entry supports to pick the new floor.
+	hist := make(map[int]int)
+	for _, es := range col.entries {
+		for _, e := range es {
+			hist[int(e.sup)]++
+		}
+	}
+	newFloor := col.pruneFloor
+	remaining := col.numEntry
+	for remaining > target {
+		remaining -= hist[newFloor]
+		newFloor++
+	}
+	items := col.items[:0]
+	entries := col.entries[:0]
+	index := make(map[string]int, len(col.items)/2)
+	num := 0
+	for id, es := range col.entries {
+		kept := es[:0]
+		for _, e := range es {
+			if int(e.sup) >= newFloor {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		index[col.items[id].Key()] = len(items)
+		items = append(items, col.items[id])
+		entries = append(entries, kept)
+		num += len(kept)
+	}
+	col.items = items
+	col.entries = entries
+	col.index = index
+	col.numEntry = num
+	col.pruneFloor = newFloor
+}
+
+// FindPoissonThreshold runs Algorithm 1 against the given null model —
+// usually the paper's independence model, but any Model works, including
+// swap randomization (the adaptation the paper's Section 1.1 anticipates).
+func FindPoissonThreshold(m randmodel.Model, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if im, ok := m.(randmodel.IndependentModel); ok {
+		if err := im.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-replicate seeds: deterministic regeneration without retaining the
+	// datasets lets the floor drop by re-mining instead of re-storing.
+	root := stats.NewRNG(cfg.Seed)
+	seeds := make([]uint64, cfg.Delta)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+
+	sTilde := maxExpectedSupport(m, cfg.K)
+	res := &Result{Delta: cfg.Delta}
+	epsQuarter := cfg.Epsilon / 4
+
+	for halving := 0; ; halving++ {
+		if halving > cfg.MaxHalvings {
+			return nil, fmt.Errorf("montecarlo: exceeded %d s-tilde halvings", cfg.MaxHalvings)
+		}
+		floor := floorOf(sTilde)
+		col, err := mineAll(m, seeds, cfg.K, floor, cfg.MaxEntries, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if col.numEntry == 0 {
+			// W empty: no k-itemset ever reaches the floor. At floor 1 the
+			// Poisson approximation is vacuous (Q̂ is 0 a.s.); accept 1.
+			if floor <= 1 {
+				res.SMin = 1
+				res.STilde = sTilde
+				res.Floor = floor
+				res.SMax = floor + 1
+				finishResult(res, col)
+				return res, nil
+			}
+			sTilde /= 2
+			continue
+		}
+		ev := newEvaluator(col, cfg.Delta)
+		// effFloor is the lowest support whose bound can still be evaluated
+		// exactly; levels below it were adaptively pruned, which is only
+		// done when their bound provably exceeds eps/4 (see collection).
+		effFloor := col.pruneFloor
+		if effFloor == floor {
+			// Capped evaluation: we only need to know on which side of
+			// eps/4 the bound at the floor lies, and the partial sum
+			// certifies "above" after a handful of terms even when the
+			// floor-level live set is enormous.
+			bFloor, floorExceeded := ev.evalCapped(floor, epsQuarter)
+			res.Curve = append(res.Curve, bFloor)
+			if !floorExceeded && bFloor.B1+bFloor.B2 <= epsQuarter {
+				// Even s-tilde satisfies the bound; the true threshold is
+				// lower.
+				if floor <= 1 {
+					res.SMin = 1
+					res.STilde = sTilde
+					res.Floor = floor
+					res.SMax = col.maxSup + 1
+					finishResult(res, col)
+					return res, nil
+				}
+				sTilde /= 2
+				res.Curve = res.Curve[:0]
+				continue
+			}
+		}
+		// Search (effFloor, smax] for the crossing, galloping down from smax.
+		smax := col.maxSup + 1
+		sMin := searchCrossing(ev, effFloor, smax, epsQuarter, res)
+		res.SMin = sMin
+		res.STilde = sTilde
+		res.Floor = effFloor
+		res.SMax = smax
+		finishResult(res, col)
+		return res, nil
+	}
+}
+
+// finishResult installs the lambda support pool and sorts the curve.
+func finishResult(res *Result, col *collection) {
+	all := make([]int, 0, col.numEntry)
+	for _, es := range col.entries {
+		for _, e := range es {
+			all = append(all, int(e.sup))
+		}
+	}
+	sort.Ints(all)
+	res.allSupports = all
+	res.NumItemsets = len(col.items)
+	sort.Slice(res.Curve, func(i, j int) bool { return res.Curve[i].S < res.Curve[j].S })
+}
+
+// searchCrossing finds min{s in (floor, smax] : b1+b2 <= target}. The bound
+// is non-increasing in s and known to exceed target at floor. Evaluations
+// are appended to res.Curve.
+func searchCrossing(ev *evaluator, floor, smax int, target float64, res *Result) int {
+	check := func(s int) bool {
+		bp, exceeded := ev.evalCapped(s, target)
+		res.Curve = append(res.Curve, bp)
+		return !exceeded && bp.B1+bp.B2 <= target
+	}
+	if !check(smax) {
+		// Even the top support fails (possible when max support recurs
+		// across many replicates); by convention return smax+1, where Q̂ is
+		// 0 a.s. and the bound is 0.
+		return smax + 1
+	}
+	// Gallop downward from smax: find lo with bound > target.
+	lo, hi := floor, smax // invariant: fails at lo, holds at hi
+	step := 1
+	s := smax - 1
+	for s > floor {
+		if !check(s) {
+			lo = s
+			break
+		}
+		hi = s
+		step *= 2
+		s -= step
+	}
+	if s <= floor {
+		lo = floor
+	}
+	// Binary search in (lo, hi).
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if check(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// floorOf converts s-tilde into the integer mining threshold.
+func floorOf(sTilde float64) int {
+	f := int(math.Ceil(sTilde))
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// maxExpectedSupport returns the paper's s-tilde: t times the product of the
+// k largest item frequencies, the largest expected support of any k-itemset
+// under the null model.
+func maxExpectedSupport(m randmodel.Model, k int) float64 {
+	freqs := m.ItemFrequencies()
+	if k > len(freqs) {
+		return 0
+	}
+	top := append([]float64(nil), freqs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(top)))
+	prod := float64(m.NumTransactions())
+	for i := 0; i < k; i++ {
+		prod *= top[i]
+	}
+	return prod
+}
+
+// repOutput is one replicate's mined itemsets, in a compact flat encoding.
+type repOutput struct {
+	keys []string
+	sups []int32
+}
+
+// mineAll mines the k-itemsets with support >= floor from each replicate,
+// pruning adaptively (see collection) when the entry volume exceeds the
+// Delta-dependent soft cap. Replicates are mined concurrently (generation
+// and mining are embarrassingly parallel because every replicate has its own
+// seed); the merge consumes results strictly in replicate order, so the
+// collection — including the prune schedule — is identical for any worker
+// count.
+func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers int) (*collection, error) {
+	col := &collection{index: make(map[string]int), pruneFloor: floor}
+	softCap := softCapFor(len(seeds))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	// Workers mine replicates at the floor known when the replicate was
+	// claimed; the merge re-filters against the current (possibly higher)
+	// prune floor. minFloor is read atomically as a mining shortcut only —
+	// correctness never depends on it.
+	var minFloor atomic.Int64
+	minFloor.Store(int64(floor))
+
+	outputs := make([]chan repOutput, len(seeds))
+	for i := range outputs {
+		outputs[i] = make(chan repOutput, 1)
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= len(seeds) {
+					return
+				}
+				v := m.Generate(stats.NewRNG(seeds[rep]))
+				var out repOutput
+				mineFloor := int(minFloor.Load())
+				mining.VisitK(v, k, mineFloor, func(items mining.Itemset, sup int) {
+					out.keys = append(out.keys, items.Key())
+					out.sups = append(out.sups, int32(sup))
+				})
+				outputs[rep] <- out
+			}
+		}()
+	}
+
+	for rep := range seeds {
+		out := <-outputs[rep]
+		for i, key := range out.keys {
+			sup := int(out.sups[i])
+			if sup < col.pruneFloor {
+				continue
+			}
+			id, ok := col.index[key]
+			if !ok {
+				id = len(col.items)
+				col.index[key] = id
+				col.items = append(col.items, mining.KeyToItemset(key))
+				col.entries = append(col.entries, nil)
+			}
+			col.entries[id] = append(col.entries[id], entry{rep: int32(rep), sup: int32(sup)})
+			col.numEntry++
+			if sup > col.maxSup {
+				col.maxSup = sup
+			}
+		}
+		if col.numEntry > softCap {
+			col.prune(softCap / 2)
+			minFloor.Store(int64(col.pruneFloor))
+		}
+		if col.numEntry > maxEntries {
+			return nil, fmt.Errorf("montecarlo: entry budget %d exceeded at replicate %d (floor %d too low)", maxEntries, rep, floor)
+		}
+	}
+	return col, nil
+}

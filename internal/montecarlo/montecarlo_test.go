@@ -1,0 +1,294 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"sigfim/internal/chenstein"
+	"sigfim/internal/mining"
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+func uniformModel(n, t int, p float64) randmodel.IndependentModel {
+	freqs := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = p
+	}
+	return randmodel.IndependentModel{T: t, Freqs: freqs}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := uniformModel(5, 20, 0.2)
+	bad := []Config{
+		{K: 0, Delta: 10, Epsilon: 0.01},
+		{K: 2, Delta: 0, Epsilon: 0.01},
+		{K: 2, Delta: 10, Epsilon: 0},
+		{K: 2, Delta: 10, Epsilon: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := FindPoissonThreshold(m, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDeltaForConfidence(t *testing.T) {
+	got := DeltaForConfidence(0.01, 0.05)
+	want := int(math.Ceil(8 * math.Log(20) / 0.01))
+	if got != want {
+		t.Errorf("DeltaForConfidence = %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid domain should panic")
+		}
+	}()
+	DeltaForConfidence(0, 0.5)
+}
+
+func TestFindThresholdDeterministicBySeed(t *testing.T) {
+	m := uniformModel(30, 300, 0.1)
+	cfg := Config{K: 2, Delta: 200, Epsilon: 0.01, Seed: 99}
+	a, err := FindPoissonThreshold(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindPoissonThreshold(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SMin != b.SMin || a.NumItemsets != b.NumItemsets {
+		t.Errorf("same seed, different results: %d/%d vs %d/%d",
+			a.SMin, a.NumItemsets, b.SMin, b.NumItemsets)
+	}
+}
+
+func TestSMinNearAnalytic(t *testing.T) {
+	// In the uniform regime the Monte Carlo ŝ_min should land near the
+	// analytic exact-bound threshold (which optimizes eps, not eps/4; the
+	// MC uses eps/4, so it can sit slightly higher).
+	n, tt, p := 12, 250, 0.15
+	m := uniformModel(n, tt, p)
+	res, err := FindPoissonThreshold(m, Config{K: 2, Delta: 400, Epsilon: 0.04, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = p
+	}
+	exactQuarter, ok := chenstein.SMinExact(freqs, tt, 2, 0.01) // eps/4 = 0.01
+	if !ok {
+		t.Fatal("no exact threshold")
+	}
+	if d := res.SMin - exactQuarter; d < -3 || d > 3 {
+		t.Errorf("MC ŝ_min = %d, exact eps/4 threshold = %d", res.SMin, exactQuarter)
+	}
+}
+
+func TestBoundCurveMonotone(t *testing.T) {
+	m := uniformModel(25, 300, 0.12)
+	res, err := FindPoissonThreshold(m, Config{K: 2, Delta: 300, Epsilon: 0.02, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completed curve points are sorted by s; b1+b2 must be non-increasing
+	// (partial points stopped early and only lower-bound the true value).
+	prev := math.Inf(1)
+	for _, bp := range res.Curve {
+		if bp.Partial {
+			continue
+		}
+		cur := bp.B1 + bp.B2
+		if cur > prev*(1+1e-9)+1e-12 {
+			t.Fatalf("empirical bound increased at s=%d: %v -> %v", bp.S, prev, cur)
+		}
+		prev = cur
+	}
+	// SMin is the crossing: bound at SMin <= eps/4.
+	for _, bp := range res.Curve {
+		if bp.S == res.SMin && bp.B1+bp.B2 > 0.02/4 {
+			t.Errorf("bound at ŝ_min = %v exceeds eps/4", bp.B1+bp.B2)
+		}
+	}
+}
+
+func TestEmptyWReturnsOne(t *testing.T) {
+	// Frequencies so tiny that no k-itemset ever reaches support 1.
+	m := uniformModel(10, 20, 1e-6)
+	res, err := FindPoissonThreshold(m, Config{K: 3, Delta: 30, Epsilon: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SMin != 1 {
+		t.Errorf("empty W should give ŝ_min = 1, got %d", res.SMin)
+	}
+}
+
+func TestLambdaEstimatorAgainstExact(t *testing.T) {
+	n, tt, p := 12, 200, 0.2
+	m := uniformModel(n, tt, p)
+	res, err := FindPoissonThreshold(m, Config{K: 2, Delta: 500, Epsilon: 0.01, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = p
+	}
+	for s := res.SMin; s < res.SMin+3 && s <= tt; s++ {
+		if s < res.Floor {
+			continue
+		}
+		want := chenstein.ExactLambda(freqs, tt, 2, s)
+		got := res.Lambda(s)
+		se := math.Sqrt(want / float64(res.Delta))
+		if math.Abs(got-want) > 6*se+0.05*want+0.02 {
+			t.Errorf("Lambda(%d) = %v, exact %v", s, got, want)
+		}
+	}
+}
+
+func TestLambdaBelowFloorPanics(t *testing.T) {
+	m := uniformModel(10, 100, 0.3)
+	res, err := FindPoissonThreshold(m, Config{K: 2, Delta: 100, Epsilon: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Floor <= 1 {
+		t.Skip("floor reached 1; nothing below it")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Lambda below floor should panic")
+		}
+	}()
+	res.Lambda(res.Floor - 1)
+}
+
+func TestEstimateLambdaMatchesExact(t *testing.T) {
+	freqs := []float64{0.3, 0.25, 0.2, 0.15, 0.35}
+	m := randmodel.IndependentModel{T: 80, Freqs: freqs}
+	k, s := 2, 5
+	want := chenstein.ExactLambda(freqs, 80, k, s)
+	got := EstimateLambda(m, k, s, 4000, 7)
+	se := math.Sqrt(want / 4000)
+	if math.Abs(got-want) > 8*se+0.02 {
+		t.Errorf("EstimateLambda = %v, exact %v", got, want)
+	}
+}
+
+func TestSampleQPoissonAboveSMin(t *testing.T) {
+	// The headline theory: above ŝ_min, Q̂_{k,s} is approximately Poisson.
+	n, tt, p := 25, 300, 0.12
+	m := uniformModel(n, tt, p)
+	res, err := FindPoissonThreshold(m, Config{K: 2, Delta: 300, Epsilon: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.SMin
+	sample := SampleQ(m, 2, s, 1500, 17)
+	lam := 0.0
+	for _, q := range sample {
+		lam += float64(q)
+	}
+	lam /= float64(len(sample))
+	if lam == 0 {
+		t.Skip("degenerate: no itemsets at s_min")
+	}
+	tv := stats.TotalVariationPoisson(sample, lam)
+	if tv > 0.08 {
+		t.Errorf("TV distance to Poisson at ŝ_min = %v", tv)
+	}
+}
+
+func TestSampleQValidation(t *testing.T) {
+	m := uniformModel(5, 10, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid SampleQ args should panic")
+		}
+	}()
+	SampleQ(m, 1, 0, 10, 1)
+}
+
+func TestMaxEntriesGuard(t *testing.T) {
+	// Dense model with floor 1 explodes; the budget must trip.
+	m := uniformModel(30, 50, 0.5)
+	_, err := FindPoissonThreshold(m, Config{K: 3, Delta: 50, Epsilon: 0.01, Seed: 4, MaxEntries: 1000})
+	if err == nil {
+		t.Skip("model found a threshold without tripping the budget")
+	}
+}
+
+func TestAdaptivePruningPath(t *testing.T) {
+	// A sparse model whose s-tilde collapses below 1 and whose floor-1
+	// itemset volume is large relative to a tiny artificial budget forces
+	// the adaptive pruning to engage; the result must stay consistent:
+	// SMin >= Floor and Lambda valid from Floor upward.
+	freqs := make([]float64, 120)
+	for i := range freqs {
+		freqs[i] = 0.02
+	}
+	m := randmodel.IndependentModel{T: 3000, Freqs: freqs}
+	res, err := FindPoissonThreshold(m, Config{K: 3, Delta: 150, Epsilon: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SMin < res.Floor {
+		t.Errorf("SMin %d below effective floor %d", res.SMin, res.Floor)
+	}
+	if res.SMin <= res.SMax {
+		lam := res.Lambda(res.SMin)
+		if lam < 0 {
+			t.Errorf("Lambda(%d) = %v", res.SMin, lam)
+		}
+	}
+	// The bound at SMin (when evaluated) must satisfy eps/4.
+	for _, bp := range res.Curve {
+		if bp.S == res.SMin && !bp.Partial && bp.B1+bp.B2 > 0.01/4 {
+			t.Errorf("bound at SMin = %v exceeds eps/4", bp.B1+bp.B2)
+		}
+	}
+}
+
+func TestCollectionPrune(t *testing.T) {
+	col := &collection{index: map[string]int{}, pruneFloor: 1}
+	// Three itemsets with supports spread over levels.
+	add := func(items mining.Itemset, reps []int, sups []int) {
+		id := len(col.items)
+		col.index[items.Key()] = id
+		col.items = append(col.items, items)
+		var es []entry
+		for i := range reps {
+			es = append(es, entry{rep: int32(reps[i]), sup: int32(sups[i])})
+			col.numEntry++
+		}
+		col.entries = append(col.entries, es)
+	}
+	add(mining.Itemset{0, 1}, []int{0, 1, 2}, []int{1, 5, 9})
+	add(mining.Itemset{1, 2}, []int{0, 1}, []int{2, 2})
+	add(mining.Itemset{2, 3}, []int{3}, []int{7})
+	col.prune(3)
+	if col.numEntry > 3 {
+		t.Fatalf("prune left %d entries", col.numEntry)
+	}
+	if col.pruneFloor <= 1 {
+		t.Fatalf("prune did not raise floor: %d", col.pruneFloor)
+	}
+	// Every retained entry respects the new floor.
+	for id, es := range col.entries {
+		for _, e := range es {
+			if int(e.sup) < col.pruneFloor {
+				t.Fatalf("entry below floor retained: %v sup %d", col.items[id], e.sup)
+			}
+		}
+	}
+	// Index must be consistent with items.
+	for key, id := range col.index {
+		if !mining.KeyToItemset(key).Equal(col.items[id]) {
+			t.Fatal("index out of sync after prune")
+		}
+	}
+}

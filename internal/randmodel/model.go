@@ -1,0 +1,44 @@
+// Package randmodel implements the random dataset models the paper's
+// significance tests compare against:
+//
+//   - IndependentModel — the paper's reference null model (Section 1.1):
+//     item i appears in each of t transactions independently with its
+//     observed frequency f_i. Generation runs in O(sum_i t*f_i) expected
+//     time (that is, proportional to the output size, not to t*n) by
+//     placing each item's occurrences with geometric skips.
+//   - MixtureModel — the Theorem 3 regime: each item's frequency R_x is
+//     itself drawn from a distribution R, then occurrences are placed
+//     independently. Used to validate the analytic Chen–Stein bounds.
+//   - Swap randomization (Gionis et al. 2006) — the alternative null model
+//     the paper cites, preserving both item frequencies AND transaction
+//     lengths exactly via margin-preserving 2x2 swaps.
+package randmodel
+
+import (
+	"sigfim/internal/dataset"
+	"sigfim/internal/stats"
+)
+
+// Model generates random datasets in vertical layout.
+type Model interface {
+	// Generate draws one dataset using the given generator.
+	Generate(r *stats.RNG) *dataset.Vertical
+	// NumTransactions returns t, the fixed transaction count.
+	NumTransactions() int
+	// NumItems returns n, the item universe size.
+	NumItems() int
+	// ItemFrequencies returns the expected per-item frequencies, used to
+	// compute s-tilde (the largest expected k-itemset support) when seeding
+	// Algorithm 1's mining floor.
+	ItemFrequencies() []float64
+}
+
+// Replicates draws count independent datasets from the model, splitting the
+// generator so each replicate has its own stream.
+func Replicates(m Model, count int, r *stats.RNG) []*dataset.Vertical {
+	out := make([]*dataset.Vertical, count)
+	for i := range out {
+		out[i] = m.Generate(r.Split())
+	}
+	return out
+}

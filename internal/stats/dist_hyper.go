@@ -1,0 +1,121 @@
+package stats
+
+import "math"
+
+// Hypergeometric is the distribution of the number of successes in Draws
+// draws without replacement from a population of size N containing K
+// successes. Fisher's exact test — the margin-conditional significance test
+// for association rules and 2x2 contingency tables — is its upper tail.
+type Hypergeometric struct {
+	N     int // population size
+	K     int // successes in the population
+	Draws int // sample size
+}
+
+// supportRange returns the attainable values [lo, hi].
+func (h Hypergeometric) supportRange() (lo, hi int) {
+	lo = h.Draws + h.K - h.N
+	if lo < 0 {
+		lo = 0
+	}
+	hi = h.Draws
+	if h.K < hi {
+		hi = h.K
+	}
+	return
+}
+
+// Mean returns Draws*K/N.
+func (h Hypergeometric) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Draws) * float64(h.K) / float64(h.N)
+}
+
+// Variance returns the sampling-without-replacement variance.
+func (h Hypergeometric) Variance() float64 {
+	if h.N <= 1 {
+		return 0
+	}
+	n, k, d := float64(h.N), float64(h.K), float64(h.Draws)
+	return d * (k / n) * (1 - k/n) * (n - d) / (n - 1)
+}
+
+// LogPMF returns ln Pr(X = x).
+func (h Hypergeometric) LogPMF(x int) float64 {
+	lo, hi := h.supportRange()
+	if x < lo || x > hi {
+		return math.Inf(-1)
+	}
+	return LogChoose(h.K, x) + LogChoose(h.N-h.K, h.Draws-x) - LogChoose(h.N, h.Draws)
+}
+
+// PMF returns Pr(X = x).
+func (h Hypergeometric) PMF(x int) float64 { return math.Exp(h.LogPMF(x)) }
+
+// CDF returns Pr(X <= x) by summation over the (short) support.
+func (h Hypergeometric) CDF(x int) float64 {
+	lo, hi := h.supportRange()
+	if x < lo {
+		return 0
+	}
+	if x >= hi {
+		return 1
+	}
+	sum := 0.0
+	for v := lo; v <= x; v++ {
+		sum += h.PMF(v)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// UpperTail returns Pr(X >= x) — the Fisher exact p-value when x is the
+// observed joint count of a 2x2 table with these margins.
+func (h Hypergeometric) UpperTail(x int) float64 {
+	lo, hi := h.supportRange()
+	if x <= lo {
+		return 1
+	}
+	if x > hi {
+		return 0
+	}
+	sum := 0.0
+	for v := x; v <= hi; v++ {
+		sum += h.PMF(v)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Sample draws one variate by sequential sampling without replacement.
+func (h Hypergeometric) Sample(r *RNG) int {
+	remainingK := h.K
+	remainingN := h.N
+	hits := 0
+	for i := 0; i < h.Draws; i++ {
+		if remainingN <= 0 {
+			break
+		}
+		if r.Float64() < float64(remainingK)/float64(remainingN) {
+			hits++
+			remainingK--
+		}
+		remainingN--
+	}
+	return hits
+}
+
+// FisherExactUpper returns the one-sided Fisher exact p-value for observing
+// at least `joint` co-occurrences given the margins: suppA transactions
+// contain A, suppB contain B, out of t total. Under the null (A and B
+// independent given margins), the joint count is Hypergeometric(t, suppA,
+// suppB).
+func FisherExactUpper(t, suppA, suppB, joint int) float64 {
+	return Hypergeometric{N: t, K: suppA, Draws: suppB}.UpperTail(joint)
+}

@@ -1,0 +1,24 @@
+package synth
+
+import (
+	"testing"
+
+	"sigfim/internal/core"
+)
+
+func TestPowerDemoExhibitsRatioAboveOne(t *testing.T) {
+	spec := PowerDemo()
+	v := spec.GenerateReal(3)
+	a, err := core.Analyze(spec.Name, v, 2, core.Options{Delta: 150, Seed: 11, RunProcedure1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("found=%v s*=%d Q=%d lambda=%g |R|=%d r=%g",
+		a.Proc2.Found, a.Proc2.SStar, a.Proc2.Q, a.Proc2.Lambda, a.Proc1.FamilySize, a.PowerRatio())
+	if !a.Proc2.Found {
+		t.Fatal("PowerDemo: Procedure 2 found nothing")
+	}
+	if r := a.PowerRatio(); r <= 1.5 && a.Proc1.FamilySize > 0 {
+		t.Errorf("PowerDemo ratio r = %v, want >> 1", r)
+	}
+}

@@ -1,0 +1,206 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"sigfim/internal/dataset"
+)
+
+func TestProfilesMatchTable1(t *testing.T) {
+	// The fitted frequency vectors must reproduce the published n, frequency
+	// range, and mean transaction length.
+	for _, spec := range Profiles() {
+		freqs := spec.Frequencies()
+		if len(freqs) != spec.N {
+			t.Fatalf("%s: %d items, want %d", spec.Name, len(freqs), spec.N)
+		}
+		sum, fmin, fmax := 0.0, math.Inf(1), 0.0
+		for _, f := range freqs {
+			sum += f
+			if f < fmin {
+				fmin = f
+			}
+			if f > fmax {
+				fmax = f
+			}
+		}
+		if math.Abs(sum-spec.MeanLen) > 0.05*spec.MeanLen {
+			t.Errorf("%s: mean length %v, want %v", spec.Name, sum, spec.MeanLen)
+		}
+		if fmax > spec.FMax*1.0001 || fmax < spec.FMax*0.8 {
+			t.Errorf("%s: fmax %v, want ~%v", spec.Name, fmax, spec.FMax)
+		}
+		if fmin < spec.FMin*0.9999 {
+			t.Errorf("%s: fmin %v below clamp %v", spec.Name, fmin, spec.FMin)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("expected 6 profiles, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName of unknown name succeeded")
+	}
+}
+
+func TestScale(t *testing.T) {
+	spec, _ := ByName("Retail")
+	s := spec.Scale(8)
+	if s.T != spec.T/8 {
+		t.Errorf("scaled T = %d", s.T)
+	}
+	if s.N != spec.N {
+		t.Errorf("scale changed N")
+	}
+	if spec.Scale(1).T != spec.T || spec.Scale(0).T != spec.T {
+		t.Error("identity scales changed T")
+	}
+	if s.Name == spec.Name {
+		t.Error("scaled name should differ")
+	}
+}
+
+func TestGenerateNullMatchesProfile(t *testing.T) {
+	spec, _ := ByName("Bms1")
+	spec = spec.Scale(16)
+	v := spec.GenerateNull(7)
+	if v.NumTransactions != spec.T || v.NumItems() != spec.N {
+		t.Fatalf("dims %d,%d", v.NumTransactions, v.NumItems())
+	}
+	p := dataset.ExtractVertical("x", v)
+	if got := p.AvgTransactionLen(); math.Abs(got-spec.MeanLen) > 0.25*spec.MeanLen {
+		t.Errorf("generated mean length %v, want ~%v", got, spec.MeanLen)
+	}
+}
+
+func TestGenerateRealPlantsBlocks(t *testing.T) {
+	spec := Spec{
+		Name: "toy", N: 100, T: 2000,
+		FMin: 0.001, FMax: 0.1, MeanLen: 2,
+		Blocks: []Block{
+			{Size: 3, Repeat: 2, RankStart: 10, RankStride: 20, CountFrac: 0.05},
+		},
+	}
+	v := spec.GenerateReal(3)
+	// Each planted block must have joint support >= the planted count.
+	count := int(0.05 * 2000)
+	for rep := 0; rep < 2; rep++ {
+		start := 10 + rep*20
+		block := []uint32{uint32(start), uint32(start + 1), uint32(start + 2)}
+		if got := v.Support(block); got < count {
+			t.Errorf("block %d support %d < planted %d", rep, got, count)
+		}
+	}
+	// The null twin must NOT contain such joint structure.
+	nullV := spec.GenerateNull(3)
+	block := []uint32{10, 11, 12}
+	if got := nullV.Support(block); got >= count/2 {
+		t.Errorf("null dataset has block support %d", got)
+	}
+}
+
+func TestGenerateRealDeterministic(t *testing.T) {
+	spec, _ := ByName("Bms2")
+	spec = spec.Scale(32)
+	a := spec.GenerateReal(11)
+	b := spec.GenerateReal(11)
+	for it := range a.Tids {
+		if len(a.Tids[it]) != len(b.Tids[it]) {
+			t.Fatal("same seed, different real datasets")
+		}
+	}
+	c := spec.GenerateReal(12)
+	diff := false
+	for it := range a.Tids {
+		if len(a.Tids[it]) != len(c.Tids[it]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical support vectors (suspicious)")
+	}
+}
+
+func TestPlantBlockBounds(t *testing.T) {
+	// Blocks that overflow the universe or have degenerate sizes must be
+	// no-ops rather than panics.
+	spec := Spec{
+		Name: "edge", N: 10, T: 100,
+		FMin: 0.01, FMax: 0.2, MeanLen: 1,
+		Blocks: []Block{
+			{Size: 20, Repeat: 1, RankStart: 0, CountFrac: 0.1}, // too wide
+			{Size: 2, Repeat: 1, RankStart: 9, CountFrac: 0.1},  // overflows
+			{Size: 2, Repeat: 1, RankStart: 0, CountFrac: 0},    // zero count
+			{Size: 2, Repeat: 1, RankStart: 0, CountFrac: 2.0},  // clamped to t
+			{Size: 0, Repeat: 1, RankStart: 0, CountFrac: 0.5},  // no items
+		},
+	}
+	v := spec.GenerateReal(5)
+	if v.NumItems() != 10 {
+		t.Fatal("universe changed")
+	}
+	// CountFrac 2.0 clamps to every transaction.
+	if got := v.Support([]uint32{0, 1}); got != 100 {
+		t.Errorf("clamped block support = %d, want 100", got)
+	}
+	// Tid lists must remain strictly increasing (valid vertical layout).
+	if _, err := dataset.NewVertical(v.NumTransactions, v.Tids); err != nil {
+		t.Fatalf("planting corrupted the layout: %v", err)
+	}
+}
+
+func TestUnionTids(t *testing.T) {
+	a := []uint32{1, 3, 5}
+	b := []uint32{2, 3, 6}
+	got := unionTids(a, b)
+	want := []uint32{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("union = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union = %v, want %v", got, want)
+		}
+	}
+}
+
+// Published Table 1 mean transaction lengths; the generated "real" variant
+// (null layer + planted blocks) must land near them.
+var publishedMeanLen = map[string]float64{
+	"Retail": 10.3, "Kosarak": 8.1, "Bms1": 2.5,
+	"Bms2": 5.6, "Bmspos": 7.5, "Pumsb*": 50.5,
+}
+
+func TestRealVariantMatchesPublishedMeanLen(t *testing.T) {
+	for _, spec := range Profiles() {
+		scaled := spec.Scale(RecommendedScale(spec.Name))
+		v := scaled.GenerateReal(99)
+		p := dataset.ExtractVertical(spec.Name, v)
+		want := publishedMeanLen[spec.Name]
+		if got := p.AvgTransactionLen(); math.Abs(got-want) > 0.15*want {
+			t.Errorf("%s: real variant mean length %.2f, published %.2f",
+				spec.Name, got, want)
+		}
+	}
+}
+
+func TestRecommendedScale(t *testing.T) {
+	for _, name := range Names() {
+		if RecommendedScale(name) < 1 {
+			t.Errorf("%s: bad recommended scale", name)
+		}
+	}
+	if RecommendedScale("Kosarak") <= RecommendedScale("Bms1") {
+		t.Error("big datasets should scale harder than small ones")
+	}
+}

@@ -1,0 +1,75 @@
+package sigfim
+
+import "sigfim/internal/rules"
+
+// AssociationRule is a mined rule Antecedent => Consequent with classical
+// interestingness measures and an exact significance p-value.
+type AssociationRule struct {
+	// Antecedent and Consequent partition the rule's itemset.
+	Antecedent, Consequent []uint32
+	// Support counts transactions containing both sides.
+	Support int
+	// Confidence is Support / support(Antecedent).
+	Confidence float64
+	// Lift is Confidence relative to the consequent's base frequency;
+	// above 1 means positive association.
+	Lift float64
+	// PValue is the exact Binomial probability of the observed joint count
+	// if the consequent were independent of the antecedent.
+	PValue float64
+	// FisherP is the one-sided Fisher exact p-value (margins conditioned).
+	FisherP float64
+}
+
+// RuleOptions configures association rule mining.
+type RuleOptions struct {
+	// MinSupport is the absolute joint-support threshold (>= 1).
+	MinSupport int
+	// MinConfidence drops rules below this confidence (0 keeps all).
+	MinConfidence float64
+	// MaxLen caps the joint itemset size (0 = 4).
+	MaxLen int
+}
+
+// Rules mines association rules, sorted by ascending p-value.
+func (ds *Dataset) Rules(opts RuleOptions) ([]AssociationRule, error) {
+	rs, err := rules.Generate(ds.vertical(), rules.Options{
+		MinSupport:    opts.MinSupport,
+		MinConfidence: opts.MinConfidence,
+		MaxLen:        opts.MaxLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return convertRules(rs), nil
+}
+
+// SignificantRules mines association rules and keeps only those passing the
+// Benjamini-Yekutieli selection at FDR level beta.
+func (ds *Dataset) SignificantRules(opts RuleOptions, beta float64) ([]AssociationRule, error) {
+	rs, err := rules.Generate(ds.vertical(), rules.Options{
+		MinSupport:    opts.MinSupport,
+		MinConfidence: opts.MinConfidence,
+		MaxLen:        opts.MaxLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return convertRules(rules.SelectSignificant(rs, beta, 0)), nil
+}
+
+func convertRules(rs []rules.Rule) []AssociationRule {
+	out := make([]AssociationRule, len(rs))
+	for i, r := range rs {
+		out[i] = AssociationRule{
+			Antecedent: r.Antecedent,
+			Consequent: r.Consequent,
+			Support:    r.Support,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+			PValue:     r.PValue,
+			FisherP:    r.FisherP,
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package sigfim
+
+import (
+	"fmt"
+	"io"
+
+	"sigfim/internal/dataset"
+	"sigfim/internal/mining"
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+// Dataset is a transactional dataset: items are dense non-negative integer
+// ids, transactions are item sets. Datasets are immutable once constructed;
+// the vertical (item-major) index is built lazily and cached.
+type Dataset struct {
+	d *dataset.Dataset
+	v *dataset.Vertical
+}
+
+// FromTransactions builds a Dataset from raw transactions. Item ids may
+// appear in any order and may repeat within a transaction; the universe size
+// is one past the largest id.
+func FromTransactions(tx [][]uint32) (*Dataset, error) {
+	maxID := -1
+	for _, tr := range tx {
+		for _, it := range tr {
+			if int(it) > maxID {
+				maxID = int(it)
+			}
+		}
+	}
+	d, err := dataset.New(maxID+1, tx)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// OpenFIMI reads a dataset in FIMI format (one transaction per line,
+// space-separated integer item ids) from a file.
+func OpenFIMI(path string) (*Dataset, error) {
+	d, err := dataset.ReadFIMIFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// ReadFIMI reads a FIMI-format dataset from a stream.
+func ReadFIMI(r io.Reader) (*Dataset, error) {
+	d, err := dataset.ReadFIMI(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// WriteFIMI writes the dataset in FIMI format.
+func (ds *Dataset) WriteFIMI(w io.Writer) error {
+	return dataset.WriteFIMI(w, ds.d)
+}
+
+// fromVertical wraps a generated vertical dataset.
+func fromVertical(v *dataset.Vertical) *Dataset {
+	return &Dataset{d: v.Horizontal(), v: v}
+}
+
+// vertical returns the cached item-major index.
+func (ds *Dataset) vertical() *dataset.Vertical {
+	if ds.v == nil {
+		ds.v = ds.d.Vertical()
+	}
+	return ds.v
+}
+
+// NumItems returns the item universe size n.
+func (ds *Dataset) NumItems() int { return ds.d.NumItems() }
+
+// NumTransactions returns the transaction count t.
+func (ds *Dataset) NumTransactions() int { return ds.d.NumTransactions() }
+
+// Transaction returns the i-th transaction (sorted, deduplicated; shared
+// slice, do not modify).
+func (ds *Dataset) Transaction(i int) []uint32 { return ds.d.Transaction(i) }
+
+// Support returns the number of transactions containing every item of the
+// itemset.
+func (ds *Dataset) Support(items []uint32) int { return ds.vertical().Support(items) }
+
+// Profile summarizes the parameters the significance methodology reads from
+// a dataset; these are the columns of the paper's Table 1.
+type Profile struct {
+	// Name labels the dataset in reports.
+	Name string
+	// NumItems is n.
+	NumItems int
+	// NumTransactions is t.
+	NumTransactions int
+	// FMin and FMax bound the nonzero item frequencies.
+	FMin, FMax float64
+	// AvgTransactionLen is m, the mean transaction length.
+	AvgTransactionLen float64
+	// Freqs is the full per-item frequency vector f_i = n(i)/t.
+	Freqs []float64
+}
+
+// Profile measures the dataset.
+func (ds *Dataset) Profile(name string) Profile {
+	p := dataset.Extract(name, ds.d)
+	fmin, fmax := p.FreqRange()
+	return Profile{
+		Name:              name,
+		NumItems:          p.NumItems(),
+		NumTransactions:   p.T,
+		FMin:              fmin,
+		FMax:              fmax,
+		AvgTransactionLen: p.AvgTransactionLen(),
+		Freqs:             p.Freqs,
+	}
+}
+
+// internalProfile converts back to the internal representation.
+func (p Profile) internalProfile() dataset.Profile {
+	return dataset.Profile{Name: p.Name, T: p.NumTransactions, Freqs: p.Freqs}
+}
+
+// RandomTwin draws a random dataset from the paper's null model matched to
+// this dataset: same transaction count, same item frequencies, items placed
+// independently. Comparing a statistic between a dataset and its random
+// twins is the heart of the significance methodology.
+func (ds *Dataset) RandomTwin(seed uint64) *Dataset {
+	m := randmodel.IndependentModel{
+		T:     ds.d.NumTransactions(),
+		Freqs: ds.d.Frequencies(),
+	}
+	return fromVertical(m.Generate(stats.NewRNG(seed)))
+}
+
+// SwapTwin draws a random dataset that preserves both the item supports and
+// the transaction lengths exactly, via swap randomization (Gionis et al.
+// 2006) — the alternative null model discussed in the paper.
+func (ds *Dataset) SwapTwin(seed uint64) *Dataset {
+	out := randmodel.SwapRandomize(ds.d, 8, stats.NewRNG(seed))
+	return &Dataset{d: out}
+}
+
+// GenerateRandom draws a dataset from the independence null model described
+// by the profile.
+func GenerateRandom(p Profile, seed uint64) *Dataset {
+	m := randmodel.IndependentModel{T: p.NumTransactions, Freqs: p.Freqs}
+	return fromVertical(m.Generate(stats.NewRNG(seed)))
+}
+
+// Pattern is a mined itemset with its support.
+type Pattern struct {
+	Items   []uint32
+	Support int
+}
+
+// Algorithm names accepted by MineOptions.
+const (
+	AlgoAuto     = "auto"
+	AlgoEclat    = "eclat"
+	AlgoEclatBit = "eclat-bits"
+	AlgoApriori  = "apriori"
+	AlgoFPGrowth = "fpgrowth"
+)
+
+// MineOptions configures plain frequent itemset mining.
+type MineOptions struct {
+	// K mines itemsets of exactly this size when positive; 0 mines all
+	// sizes up to MaxLen.
+	K int
+	// MinSupport is the absolute support threshold (>= 1).
+	MinSupport int
+	// MaxLen caps itemset size when K == 0 (0 = unbounded).
+	MaxLen int
+	// Algorithm is one of the Algo* constants ("" = auto).
+	Algorithm string
+}
+
+// Mine runs classical frequent itemset mining.
+func (ds *Dataset) Mine(opts MineOptions) ([]Pattern, error) {
+	algo := mining.Auto
+	switch opts.Algorithm {
+	case "", AlgoAuto:
+	case AlgoEclat:
+		algo = mining.EclatTids
+	case AlgoEclatBit:
+		algo = mining.EclatBits
+	case AlgoApriori:
+		algo = mining.Apriori
+	case AlgoFPGrowth:
+		algo = mining.FPGrowth
+	default:
+		return nil, fmt.Errorf("sigfim: unknown algorithm %q", opts.Algorithm)
+	}
+	rs, err := mining.MineVertical(ds.vertical(), mining.Options{
+		K:          opts.K,
+		MinSupport: opts.MinSupport,
+		MaxLen:     opts.MaxLen,
+		Algorithm:  algo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mining.SortResults(rs)
+	out := make([]Pattern, len(rs))
+	for i, r := range rs {
+		out[i] = Pattern{Items: r.Items, Support: r.Support}
+	}
+	return out, nil
+}
+
+// CountK returns Q_{k,s}: the number of k-itemsets with support >= s,
+// counted without materializing them.
+func (ds *Dataset) CountK(k, minSupport int) int64 {
+	return mining.CountK(ds.vertical(), k, minSupport)
+}
+
+// ClosedItemsets mines all closed itemsets with support >= minSupport.
+func (ds *Dataset) ClosedItemsets(minSupport int) []Pattern {
+	rs := mining.ClosedAll(ds.vertical(), minSupport)
+	out := make([]Pattern, len(rs))
+	for i, r := range rs {
+		out[i] = Pattern{Items: r.Items, Support: r.Support}
+	}
+	return out
+}
+
+// LargestClosedItemset returns a maximum-cardinality closed itemset with
+// support >= minSupport and its support. Reproduces the paper's diagnostic
+// for interpreting huge significant families (Section 4.1).
+func (ds *Dataset) LargestClosedItemset(minSupport int) (Pattern, bool) {
+	items, sup := mining.MaxClosedCardinality(ds.vertical(), minSupport)
+	if len(items) == 0 {
+		return Pattern{}, false
+	}
+	return Pattern{Items: items, Support: sup}, true
+}
+
+// MaximalItemsets mines all maximal frequent itemsets (frequent itemsets
+// with no frequent strict superset) at the given support threshold.
+func (ds *Dataset) MaximalItemsets(minSupport int) []Pattern {
+	rs := mining.MaximalAll(ds.vertical(), minSupport)
+	out := make([]Pattern, len(rs))
+	for i, r := range rs {
+		out[i] = Pattern{Items: r.Items, Support: r.Support}
+	}
+	return out
+}
+
+// TopKItemsets returns the K size-k itemsets with the largest supports,
+// descending.
+func (ds *Dataset) TopKItemsets(k, K int) []Pattern {
+	rs := mining.TopK(ds.vertical(), k, K)
+	out := make([]Pattern, len(rs))
+	for i, r := range rs {
+		out[i] = Pattern{Items: r.Items, Support: r.Support}
+	}
+	return out
+}

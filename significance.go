@@ -1,0 +1,182 @@
+package sigfim
+
+import (
+	"fmt"
+
+	"sigfim/internal/core"
+	"sigfim/internal/montecarlo"
+	"sigfim/internal/randmodel"
+)
+
+// Config tunes the significance methodology. The zero value (or a nil
+// pointer) selects the paper's experimental settings: alpha = beta = 0.05,
+// epsilon = 0.01, Delta = 1000 Monte Carlo replicates.
+type Config struct {
+	// Alpha is the confidence budget: with probability at least 1-Alpha no
+	// level of the threshold ladder is falsely rejected.
+	Alpha float64
+	// Beta is the FDR budget for the returned family.
+	Beta float64
+	// Epsilon is the Poisson-approximation tolerance of Algorithm 1.
+	Epsilon float64
+	// Delta is the Monte Carlo replicate count.
+	Delta int
+	// Seed fixes all random streams; runs are fully deterministic per seed.
+	Seed uint64
+	// WithBaseline additionally runs the Benjamini-Yekutieli per-itemset
+	// baseline (Procedure 1) and fills Report.Baseline.
+	WithBaseline bool
+	// MaxPatterns caps how many significant itemsets Report.Significant
+	// materializes (0 = 100000). The count NumSignificant is always exact.
+	MaxPatterns int
+	// SwapNull replaces the independence null model with swap randomization
+	// (preserving transaction lengths as well as item frequencies) — the
+	// alternative null the paper's Section 1.1 anticipates. Considerably
+	// slower: every Monte Carlo replicate re-runs the swap chain.
+	SwapNull bool
+}
+
+func (c *Config) withDefaults() core.Options {
+	o := core.Options{}
+	if c != nil {
+		o.Alpha = c.Alpha
+		o.Beta = c.Beta
+		o.Epsilon = c.Epsilon
+		o.Delta = c.Delta
+		o.Seed = c.Seed
+		o.RunProcedure1 = c.WithBaseline
+	}
+	return o
+}
+
+// LadderStep reports one comparison of the support-threshold ladder.
+type LadderStep struct {
+	S        int     // tested support threshold
+	Q        int64   // observed count of k-itemsets with support >= S
+	Lambda   float64 // null expectation of that count
+	PValue   float64 // Pr(Poisson(Lambda) >= Q)
+	Rejected bool
+}
+
+// BaselineReport carries the Procedure 1 (Benjamini-Yekutieli) outcome.
+type BaselineReport struct {
+	// NumSignificant is |R|, the size of the flagged family.
+	NumSignificant int
+	// NumTested is |F_k(s_min)|, the number of itemsets whose p-value was
+	// computed.
+	NumTested int
+	// Significant lists the flagged itemsets ascending by p-value.
+	Significant []Pattern
+}
+
+// Report is the outcome of the significance analysis for one itemset size.
+type Report struct {
+	// K is the analyzed itemset size.
+	K int
+	// SMin is the estimated Poisson threshold ŝ_min (Algorithm 1).
+	SMin int
+	// SStar is the selected support threshold s*; meaningful only when
+	// Infinite is false.
+	SStar int
+	// Infinite reports that no threshold was significant (s* = ∞): the
+	// dataset's high-support structure is consistent with the null model.
+	Infinite bool
+	// NumSignificant is Q_{k,s*}, the number of significant k-itemsets.
+	NumSignificant int64
+	// Lambda is lambda(s*), the expected count in a random twin.
+	Lambda float64
+	// Alpha and Beta echo the budgets the guarantee holds for.
+	Alpha, Beta float64
+	// Steps traces the threshold ladder.
+	Steps []LadderStep
+	// Significant materializes the flagged itemsets (up to the configured
+	// cap), descending by support. Empty when Infinite.
+	Significant []Pattern
+	// Baseline is the Procedure 1 comparison (nil unless requested).
+	Baseline *BaselineReport
+	// PowerRatio is NumSignificant / |R| when the baseline ran and both
+	// families are nonempty; the paper's Table 5 ratio r.
+	PowerRatio float64
+}
+
+// Significant runs the full methodology for k-itemsets: Algorithm 1 to find
+// the Poisson regime, then Procedure 2 to select s* with the FDR guarantee.
+func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
+	opts := cfg.withDefaults()
+	if cfg != nil && cfg.SwapNull {
+		opts.NullModel = randmodel.SwapModel{Base: ds.d}
+	}
+	a, err := core.Analyze("dataset", ds.vertical(), k, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		K:     k,
+		SMin:  a.Proc2.SMin,
+		Alpha: a.Proc2.Alpha,
+		Beta:  a.Proc2.Beta,
+	}
+	for _, st := range a.Proc2.Steps {
+		rep.Steps = append(rep.Steps, LadderStep{
+			S: st.S, Q: st.Q, Lambda: st.Lambda, PValue: st.PValue, Rejected: st.Rejected,
+		})
+	}
+	if a.Proc2.Found {
+		rep.SStar = a.Proc2.SStar
+		rep.NumSignificant = a.Proc2.Q
+		rep.Lambda = a.Proc2.Lambda
+		maxPat := 100000
+		if cfg != nil && cfg.MaxPatterns > 0 {
+			maxPat = cfg.MaxPatterns
+		}
+		if rep.NumSignificant <= int64(maxPat) {
+			ps, err := ds.Mine(MineOptions{K: k, MinSupport: rep.SStar})
+			if err != nil {
+				return nil, err
+			}
+			rep.Significant = ps
+		}
+	} else {
+		rep.Infinite = true
+	}
+	if a.Proc1 != nil {
+		b := &BaselineReport{
+			NumSignificant: a.Proc1.FamilySize,
+			NumTested:      a.Proc1.NumMined,
+		}
+		for _, s := range a.Proc1.Family {
+			b.Significant = append(b.Significant, Pattern{Items: s.Items, Support: s.Support})
+		}
+		rep.Baseline = b
+		rep.PowerRatio = a.PowerRatio()
+	}
+	return rep, nil
+}
+
+// FindSMin runs Algorithm 1 alone against the dataset's null model and
+// returns the estimated Poisson threshold ŝ_min for size-k itemsets.
+func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
+	var delta int
+	var eps float64
+	var seed uint64
+	if cfg != nil {
+		delta, eps, seed = cfg.Delta, cfg.Epsilon, cfg.Seed
+	}
+	if delta == 0 {
+		delta = 1000
+	}
+	if eps == 0 {
+		eps = 0.01
+	}
+	m := randmodel.IndependentModel{
+		T:     ds.d.NumTransactions(),
+		Freqs: ds.d.Frequencies(),
+	}
+	res, err := montecarlo.FindPoissonThreshold(m, montecarlo.Config{
+		K: k, Delta: delta, Epsilon: eps, Seed: seed,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("sigfim: %w", err)
+	}
+	return res.SMin, nil
+}

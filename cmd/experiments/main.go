@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments -table N [-scale F] [-delta D] [-k list] [-datasets list]
-//	            [-trials T] [-seed S] [-verbose]
+//	            [-trials T] [-seed S] [-workers W] [-verbose]
 //
 // Table 1 prints the benchmark profile parameters; Table 2 runs Algorithm 1
 // (ŝ_min) on the random counterparts; Table 3 runs Procedure 2 on the "real"
@@ -42,6 +42,7 @@ var (
 	flagTrials   = flag.Int("trials", 20, "random instances per profile for Table 4")
 	flagSeed     = flag.Uint64("seed", 20090629, "base random seed")
 	flagVerbose  = flag.Bool("verbose", false, "print per-step diagnostics")
+	flagWorkers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 )
 
 func main() {
@@ -136,7 +137,7 @@ func table2(specs []synth.Spec, ks []int) {
 		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
 		for i, k := range ks {
 			res, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
-				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed,
+				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers,
 			})
 			if err != nil {
 				cells[i] = "err:" + err.Error()
@@ -157,7 +158,7 @@ func table3(specs []synth.Spec, ks []int) {
 		v := spec.GenerateReal(*flagSeed)
 		for _, k := range ks {
 			a, err := core.Analyze(spec.Name, v, k, core.Options{
-				Delta: *flagDelta, Seed: *flagSeed,
+				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers,
 			})
 			if err != nil {
 				fmt.Printf("%-12s %4d  error: %v\n", spec.Name, k, err)
@@ -196,7 +197,7 @@ func table4(specs []synth.Spec, ks []int) {
 		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
 		for i, k := range ks {
 			mc, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
-				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed,
+				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers,
 			})
 			if err != nil {
 				cells[i] = "err:" + err.Error()
@@ -215,7 +216,7 @@ func table4(specs []synth.Spec, ks []int) {
 			finite := 0
 			for trial := 0; trial < *flagTrials; trial++ {
 				v := null.Generate(stats.NewRNG(*flagSeed + uint64(1000+trial)))
-				p2, err := core.Procedure2(v, k, sMin, lambda, 0.05, 0.05)
+				p2, err := core.Procedure2Ex(v, k, sMin, lambda, 0.05, 0.05, core.SplitEqual, *flagWorkers)
 				if err != nil {
 					cells[i] = "err:" + err.Error()
 					break
@@ -241,7 +242,7 @@ func table5(specs []synth.Spec, ks []int) {
 		v := spec.GenerateReal(*flagSeed)
 		for _, k := range ks {
 			a, err := core.Analyze(spec.Name, v, k, core.Options{
-				Delta: *flagDelta, Seed: *flagSeed, RunProcedure1: true,
+				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers, RunProcedure1: true,
 			})
 			if err != nil {
 				fmt.Printf("%-12s %4d  error: %v\n", spec.Name, k, err)

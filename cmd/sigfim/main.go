@@ -77,6 +77,7 @@ func cmdMine(args []string) error {
 	maxLen := fs.Int("maxlen", 0, "max itemset size when -k 0 (0 = unbounded)")
 	algo := fs.String("algo", "auto", "auto|eclat|eclat-bits|apriori|fpgrowth")
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
+	workers := fs.Int("workers", 0, "mining goroutines (0 = all CPUs, 1 = serial)")
 	fs.Parse(args)
 	d, err := load(*in)
 	if err != nil {
@@ -84,6 +85,7 @@ func cmdMine(args []string) error {
 	}
 	ps, err := d.Mine(sigfim.MineOptions{
 		K: *k, MinSupport: *minsup, MaxLen: *maxLen, Algorithm: *algo,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -100,12 +102,13 @@ func cmdSMin(args []string) error {
 	delta := fs.Int("delta", 1000, "Monte Carlo replicates")
 	eps := fs.Float64("eps", 0.01, "Poisson tolerance")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	fs.Parse(args)
 	d, err := load(*in)
 	if err != nil {
 		return err
 	}
-	s, err := d.FindSMin(*k, &sigfim.Config{Delta: *delta, Epsilon: *eps, Seed: *seed})
+	s, err := d.FindSMin(*k, &sigfim.Config{Delta: *delta, Epsilon: *eps, Seed: *seed, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -123,6 +126,7 @@ func cmdSignificant(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	baseline := fs.Bool("baseline", false, "also run the Benjamini-Yekutieli baseline")
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	fs.Parse(args)
 	d, err := load(*in)
 	if err != nil {
@@ -130,7 +134,7 @@ func cmdSignificant(args []string) error {
 	}
 	rep, err := d.Significant(*k, &sigfim.Config{
 		Alpha: *alpha, Beta: *beta, Delta: *delta, Seed: *seed,
-		WithBaseline: *baseline,
+		WithBaseline: *baseline, Workers: *workers,
 	})
 	if err != nil {
 		return err

@@ -42,4 +42,21 @@
 // Poisson threshold alone, RandomTwin / SwapTwin for null-model dataset
 // generation, and BenchmarkProfile for the paper's six synthetic benchmark
 // profiles.
+//
+// # Parallelism and determinism
+//
+// Mining and the significance pipeline run on a parallel engine. Both
+// MineOptions and Config expose a Workers knob: 0 (the default) uses every
+// CPU, 1 forces serial execution, and any other value bounds the worker
+// goroutines. Eclat shards the prefix tree's first-item equivalence classes
+// across the pool, Apriori parallelizes its candidate-counting scans over
+// transaction chunks, and the Monte Carlo estimator splits workers between
+// replicate-level and intra-mine parallelism (FP-Growth mines serially).
+//
+// The engine guarantees determinism: for a fixed Seed, every result —
+// including FindSMin's threshold and the complete Significant report — is
+// identical for every worker count. Parallel reductions merge per-worker
+// buffers in a fixed order (mining output order even matches the serial DFS
+// exactly), and each Monte Carlo replicate derives its RNG from its own
+// per-replicate seed, so scheduling never influences random streams.
 package sigfim

@@ -1,0 +1,3 @@
+module sigfim
+
+go 1.22

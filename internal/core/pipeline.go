@@ -34,6 +34,11 @@ type Options struct {
 	// dataset's measured profile. Swap randomization (randmodel.SwapModel)
 	// is the natural alternative.
 	NullModel randmodel.Model
+	// Workers bounds the goroutines of every parallel stage: Algorithm 1's
+	// replicate mining and the observed-dataset counting passes. 0 selects
+	// runtime.NumCPU(), 1 forces serial execution. Results are identical for
+	// every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +100,7 @@ func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, 
 		Epsilon:    opts.Epsilon,
 		Seed:       opts.Seed,
 		MaxEntries: opts.MaxEntries,
+		Workers:    opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: Algorithm 1: %w", err)
@@ -114,7 +120,7 @@ func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, 
 		}
 		return mc.Lambda(s)
 	}
-	p2, err := Procedure2(v, k, sMin, lambda, opts.Alpha, opts.Beta)
+	p2, err := Procedure2Ex(v, k, sMin, lambda, opts.Alpha, opts.Beta, SplitEqual, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -67,11 +67,19 @@ func (bs BudgetSplit) splitWeights(h int) []float64 {
 //
 // and s* is the first rejected level (the minimum s_i).
 func Procedure2(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, beta float64) (*Procedure2Result, error) {
-	return Procedure2Split(v, k, sMin, lambda, alpha, beta, SplitEqual)
+	return Procedure2Ex(v, k, sMin, lambda, alpha, beta, SplitEqual, 0)
 }
 
 // Procedure2Split is Procedure2 with an explicit budget split strategy.
 func Procedure2Split(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, beta float64, split BudgetSplit) (*Procedure2Result, error) {
+	return Procedure2Ex(v, k, sMin, lambda, alpha, beta, split, 0)
+}
+
+// Procedure2Ex is Procedure2Split with an explicit worker count for the
+// counting pass (0 = NumCPU, 1 = serial). The result is identical for every
+// worker count: the only parallel step is the integer support histogram,
+// which merges per-worker histograms by addition.
+func Procedure2Ex(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, beta float64, split BudgetSplit, workers int) (*Procedure2Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
@@ -105,7 +113,7 @@ func Procedure2Split(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha,
 	weights := split.splitWeights(h)
 
 	// One histogram pass at s_min yields every Q_{k,s_i}.
-	hist := mining.SupportHistogram(v, k, sMin)
+	hist := mining.SupportHistogramParallel(v, k, sMin, workers)
 	qCurve := mining.CumulativeQ(hist)
 	qAt := func(s int) int64 {
 		if s >= len(qCurve) {

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"fmt"
 	"testing"
 
 	"sigfim/internal/dataset"
@@ -121,6 +122,43 @@ func BenchmarkLowThresholdEclat(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n := 0
 		eclatKTidList(v, 3, 1, func(Itemset, int) { n++ })
+	}
+}
+
+// Parallel-engine scaling on the dense synthetic profile. On multi-core
+// hardware workers=4 should be >= 2x workers=1; on a single-core runner the
+// sub-benchmarks collapse to roughly equal times (the engine adds only
+// buffer-merge overhead).
+func BenchmarkEclatParallel(b *testing.B) {
+	v := benchDataset(b).Vertical()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				EclatKTidListParallel(v, 3, 60, w)
+			}
+		})
+	}
+}
+
+func BenchmarkEclatBitsetParallel(b *testing.B) {
+	v := benchDataset(b).Vertical()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				EclatKBitsetParallel(v, 3, 60, w)
+			}
+		})
+	}
+}
+
+func BenchmarkCountKParallel(b *testing.B) {
+	v := benchDataset(b).Vertical()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CountKParallel(v, 2, 50, w)
+			}
+		})
 	}
 }
 

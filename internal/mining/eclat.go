@@ -85,25 +85,38 @@ func eclatKTidList(v *dataset.Vertical, k, minSupport int, emit func(Itemset, in
 	if len(items) < k {
 		return
 	}
-	prefix := make(Itemset, 0, k)
+	for first := 0; first <= len(items)-k; first++ {
+		eclatKTidListSubtree(v, items, k, minSupport, first, emit)
+	}
+}
+
+// eclatKTidListSubtree mines the prefix-tree subtree rooted at items[first]:
+// every size-k itemset whose least-frequent member (in eclat order) is
+// items[first]. The subtrees for first = 0..len(items)-k partition the full
+// search space, which is the unit of work the parallel driver shards; visiting
+// them in ascending first reproduces the serial DFS emission order exactly.
+func eclatKTidListSubtree(v *dataset.Vertical, items []uint32, k, minSupport, first int, emit func(Itemset, int)) {
+	it := items[first]
+	base := v.Tids[it]
+	if len(base) < minSupport {
+		return
+	}
+	prefix := make(Itemset, 1, k)
+	prefix[0] = it
+	if k == 1 {
+		emitSorted(prefix, len(base), emit)
+		return
+	}
 	var rec func(start int, tids bitset.TidList)
 	rec = func(start int, tids bitset.TidList) {
 		depth := len(prefix)
 		for i := start; i <= len(items)-(k-depth); i++ {
-			it := items[i]
-			var next bitset.TidList
-			var sup int
-			if depth == 0 {
-				next = v.Tids[it]
-				sup = len(next)
-			} else {
-				next = bitset.Intersect(tids, v.Tids[it])
-				sup = len(next)
-			}
+			next := bitset.Intersect(tids, v.Tids[items[i]])
+			sup := len(next)
 			if sup < minSupport {
 				continue
 			}
-			prefix = append(prefix, it)
+			prefix = append(prefix, items[i])
 			if depth+1 == k {
 				emitSorted(prefix, sup, emit)
 			} else {
@@ -112,7 +125,7 @@ func eclatKTidList(v *dataset.Vertical, k, minSupport int, emit func(Itemset, in
 			prefix = prefix[:depth]
 		}
 	}
-	rec(0, nil)
+	rec(first+1, base)
 }
 
 // emitSorted hands emit a sorted view of the prefix (items were visited in
@@ -140,36 +153,56 @@ func eclatKBitset(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int
 	if len(items) < k {
 		return
 	}
-	t := v.NumTransactions
+	cols := bitsetColumns(v, items)
+	scratch := newBitsetScratch(v.NumTransactions, k)
+	for first := 0; first <= len(items)-k; first++ {
+		eclatKBitsetSubtree(v, items, cols, scratch, k, minSupport, first, emit)
+	}
+}
+
+// bitsetColumns materializes the dense columns of the frequent items; the map
+// is read-only during the search and safe to share across workers.
+func bitsetColumns(v *dataset.Vertical, items []uint32) map[uint32]*bitset.Bitset {
 	cols := make(map[uint32]*bitset.Bitset, len(items))
 	for _, it := range items {
-		cols[it] = v.Tids[it].ToBitset(t)
+		cols[it] = v.Tids[it].ToBitset(v.NumTransactions)
 	}
-	// Scratch bitsets, one per depth, reused across the whole search.
+	return cols
+}
+
+// newBitsetScratch allocates the per-depth intersection buffers one DFS (or
+// one worker) needs; scratch is mutable state and must not be shared.
+func newBitsetScratch(t, k int) []*bitset.Bitset {
 	scratch := make([]*bitset.Bitset, k)
 	for i := range scratch {
 		scratch[i] = bitset.New(t)
 	}
-	prefix := make(Itemset, 0, k)
+	return scratch
+}
+
+// eclatKBitsetSubtree is eclatKTidListSubtree over dense bitset columns.
+func eclatKBitsetSubtree(v *dataset.Vertical, items []uint32, cols map[uint32]*bitset.Bitset, scratch []*bitset.Bitset, k, minSupport, first int, emit func(Itemset, int)) {
+	it := items[first]
+	if len(v.Tids[it]) < minSupport {
+		return
+	}
+	prefix := make(Itemset, 1, k)
+	prefix[0] = it
+	if k == 1 {
+		emitSorted(prefix, len(v.Tids[it]), emit)
+		return
+	}
 	var rec func(start int, acc *bitset.Bitset)
 	rec = func(start int, acc *bitset.Bitset) {
 		depth := len(prefix)
 		for i := start; i <= len(items)-(k-depth); i++ {
-			it := items[i]
-			var sup int
-			var next *bitset.Bitset
-			if depth == 0 {
-				next = cols[it]
-				sup = len(v.Tids[it])
-			} else {
-				next = scratch[depth]
-				next.And(acc, cols[it])
-				sup = next.Count()
-			}
+			next := scratch[depth]
+			next.And(acc, cols[items[i]])
+			sup := next.Count()
 			if sup < minSupport {
 				continue
 			}
-			prefix = append(prefix, it)
+			prefix = append(prefix, items[i])
 			if depth+1 == k {
 				emitSorted(prefix, sup, emit)
 			} else {
@@ -178,7 +211,7 @@ func eclatKBitset(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int
 			prefix = prefix[:depth]
 		}
 	}
-	rec(0, nil)
+	rec(first+1, cols[it])
 }
 
 // EclatAll mines every itemset (any size >= 1 up to maxLen; maxLen <= 0 means
@@ -189,7 +222,25 @@ func EclatAll(v *dataset.Vertical, minSupport, maxLen int) []Result {
 	}
 	items := frequentItems(v, minSupport)
 	var out []Result
-	prefix := make(Itemset, 0, 16)
+	for first := range items {
+		out = eclatAllSubtree(v, items, minSupport, maxLen, first, out)
+	}
+	return out
+}
+
+// eclatAllSubtree mines every itemset (all sizes) whose eclat-least item is
+// items[first], appending to out. Like the fixed-k subtrees, ascending first
+// reproduces the serial DFS order.
+func eclatAllSubtree(v *dataset.Vertical, items []uint32, minSupport, maxLen, first int, out []Result) []Result {
+	base := v.Tids[items[first]]
+	if len(base) < minSupport {
+		return out
+	}
+	prefix := make(Itemset, 1, 16)
+	prefix[0] = items[first]
+	emitSorted(prefix, len(base), func(is Itemset, s int) {
+		out = append(out, Result{Items: is, Support: s})
+	})
 	var rec func(start int, tids bitset.TidList)
 	rec = func(start int, tids bitset.TidList) {
 		depth := len(prefix)
@@ -197,20 +248,12 @@ func EclatAll(v *dataset.Vertical, minSupport, maxLen int) []Result {
 			return
 		}
 		for i := start; i < len(items); i++ {
-			it := items[i]
-			var next bitset.TidList
-			var sup int
-			if depth == 0 {
-				next = v.Tids[it]
-				sup = len(next)
-			} else {
-				next = bitset.Intersect(tids, v.Tids[it])
-				sup = len(next)
-			}
+			next := bitset.Intersect(tids, v.Tids[items[i]])
+			sup := len(next)
 			if sup < minSupport {
 				continue
 			}
-			prefix = append(prefix, it)
+			prefix = append(prefix, items[i])
 			emitSorted(prefix, sup, func(is Itemset, s int) {
 				out = append(out, Result{Items: is, Support: s})
 			})
@@ -218,6 +261,6 @@ func EclatAll(v *dataset.Vertical, minSupport, maxLen int) []Result {
 			prefix = prefix[:depth]
 		}
 	}
-	rec(0, nil)
+	rec(first+1, base)
 	return out
 }

@@ -51,6 +51,11 @@ type Options struct {
 	MaxLen int
 	// Algorithm selects the strategy; Auto by default.
 	Algorithm Algorithm
+	// Workers bounds the goroutines of the parallel engine; 0 selects
+	// runtime.NumCPU(), 1 forces the serial path. Output is identical —
+	// values and order — for every worker count (FP-Growth mines serially
+	// regardless; its conditional-tree recursion does not shard cleanly).
+	Workers int
 }
 
 // Mine runs the configured algorithm against the dataset. Both layouts are
@@ -67,9 +72,9 @@ func Mine(d *dataset.Dataset, opts Options) ([]Result, error) {
 		return MineVertical(d.Vertical(), opts)
 	case Apriori:
 		if opts.K > 0 {
-			return AprioriK(d, opts.K, opts.MinSupport), nil
+			return AprioriKParallel(d, opts.K, opts.MinSupport, opts.Workers), nil
 		}
-		return AprioriAll(d, opts.MinSupport, opts.MaxLen), nil
+		return AprioriAllParallel(d, opts.MinSupport, opts.MaxLen, opts.Workers), nil
 	case FPGrowth:
 		if opts.K > 0 {
 			return FPGrowthK(d, opts.K, opts.MinSupport), nil
@@ -90,19 +95,19 @@ func MineVertical(v *dataset.Vertical, opts Options) ([]Result, error) {
 	switch opts.Algorithm {
 	case Auto:
 		if opts.K > 0 {
-			return EclatK(v, opts.K, opts.MinSupport), nil
+			return EclatKParallel(v, opts.K, opts.MinSupport, opts.Workers), nil
 		}
-		return EclatAll(v, opts.MinSupport, opts.MaxLen), nil
+		return EclatAllParallel(v, opts.MinSupport, opts.MaxLen, opts.Workers), nil
 	case EclatTids:
 		if opts.K > 0 {
-			return EclatKTidList(v, opts.K, opts.MinSupport), nil
+			return EclatKTidListParallel(v, opts.K, opts.MinSupport, opts.Workers), nil
 		}
-		return EclatAll(v, opts.MinSupport, opts.MaxLen), nil
+		return EclatAllParallel(v, opts.MinSupport, opts.MaxLen, opts.Workers), nil
 	case EclatBits:
 		if opts.K > 0 {
-			return EclatKBitset(v, opts.K, opts.MinSupport), nil
+			return EclatKBitsetParallel(v, opts.K, opts.MinSupport, opts.Workers), nil
 		}
-		return EclatAll(v, opts.MinSupport, opts.MaxLen), nil
+		return EclatAllParallel(v, opts.MinSupport, opts.MaxLen, opts.Workers), nil
 	case Apriori, FPGrowth:
 		d := v.Horizontal()
 		return Mine(d, opts)

@@ -1,0 +1,273 @@
+package mining
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sigfim/internal/bitset"
+	"sigfim/internal/dataset"
+)
+
+// Parallel mining engine. The Eclat prefix tree decomposes into independent
+// subtrees, one per first item (in eclat support order); those subtrees are
+// the sharding unit. Workers claim subtrees dynamically off an atomic counter
+// (subtree sizes are wildly skewed, so static striping would load-balance
+// poorly), write into per-subtree result buffers, and the driver concatenates
+// the buffers in subtree order — which is exactly the serial DFS emission
+// order, so parallel mining is identical to serial mining for every worker
+// count, including output order.
+
+// ResolveWorkers maps a Workers knob value to a concrete goroutine count:
+// values <= 0 select runtime.NumCPU().
+func ResolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// parallelShards runs fn(worker, shard) for every shard in [0, n), spreading
+// shards over `workers` goroutines via dynamic claiming. fn must be safe for
+// concurrent invocation across distinct worker ids; each worker id runs on a
+// single goroutine, so per-worker state needs no locking.
+func parallelShards(n, workers int, fn func(worker, shard int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for s := 0; s < n; s++ {
+			fn(0, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				fn(w, s)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// EclatKParallel is EclatK with a worker pool (workers <= 0: NumCPU); the
+// physical representation is chosen automatically, as in EclatK.
+func EclatKParallel(v *dataset.Vertical, k, minSupport, workers int) []Result {
+	if dense(v, minSupport) {
+		return EclatKBitsetParallel(v, k, minSupport, workers)
+	}
+	return EclatKTidListParallel(v, k, minSupport, workers)
+}
+
+// EclatKTidListParallel mines k-itemsets over tid lists with a worker pool.
+// Output is identical (including order) to EclatKTidList for any worker count.
+func EclatKTidListParallel(v *dataset.Vertical, k, minSupport, workers int) []Result {
+	if k <= 0 || minSupport < 1 {
+		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
+	}
+	workers = ResolveWorkers(workers)
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return nil
+	}
+	n := len(items) - k + 1
+	if workers <= 1 || n <= 1 {
+		return EclatKTidList(v, k, minSupport)
+	}
+	bufs := make([][]Result, n)
+	parallelShards(n, workers, func(_, first int) {
+		bufs[first] = collectSubtree(func(emit func(Itemset, int)) {
+			eclatKTidListSubtree(v, items, k, minSupport, first, emit)
+		})
+	})
+	return mergeShardResults(bufs)
+}
+
+// EclatKBitsetParallel mines k-itemsets over dense bitsets with a worker
+// pool; the columns are shared read-only, intersection scratch is per worker.
+func EclatKBitsetParallel(v *dataset.Vertical, k, minSupport, workers int) []Result {
+	if k <= 0 || minSupport < 1 {
+		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
+	}
+	workers = ResolveWorkers(workers)
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return nil
+	}
+	n := len(items) - k + 1
+	if workers <= 1 || n <= 1 {
+		return EclatKBitset(v, k, minSupport)
+	}
+	if workers > n {
+		workers = n
+	}
+	cols := bitsetColumns(v, items)
+	scratch := make([][]*bitset.Bitset, workers)
+	for w := range scratch {
+		scratch[w] = newBitsetScratch(v.NumTransactions, k)
+	}
+	bufs := make([][]Result, n)
+	parallelShards(n, workers, func(w, first int) {
+		bufs[first] = collectSubtree(func(emit func(Itemset, int)) {
+			eclatKBitsetSubtree(v, items, cols, scratch[w], k, minSupport, first, emit)
+		})
+	})
+	return mergeShardResults(bufs)
+}
+
+// EclatAllParallel mines all sizes (up to maxLen; <= 0 unbounded) with a
+// worker pool. Output is identical to EclatAll for any worker count.
+func EclatAllParallel(v *dataset.Vertical, minSupport, maxLen, workers int) []Result {
+	if minSupport < 1 {
+		panic("mining: EclatAll requires minSupport >= 1")
+	}
+	workers = ResolveWorkers(workers)
+	items := frequentItems(v, minSupport)
+	if workers <= 1 || len(items) <= 1 {
+		return EclatAll(v, minSupport, maxLen)
+	}
+	bufs := make([][]Result, len(items))
+	parallelShards(len(items), workers, func(_, first int) {
+		bufs[first] = eclatAllSubtree(v, items, minSupport, maxLen, first, nil)
+	})
+	return mergeShardResults(bufs)
+}
+
+// CountKParallel is CountK with a worker pool: per-worker counters over the
+// sharded eclat search, summed at the end. The hash-mining path (which wins
+// at very low thresholds on sparse data) is kept serial — it is selected
+// precisely when the total work is small.
+func CountKParallel(v *dataset.Vertical, k, minSupport, workers int) int64 {
+	if k < 1 || minSupport < 1 {
+		panic("mining: CountK requires k >= 1 and minSupport >= 1")
+	}
+	workers = ResolveWorkers(workers)
+	if workers <= 1 || k == 1 || useHashPath(v, k, minSupport) {
+		return CountK(v, k, minSupport)
+	}
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return 0
+	}
+	n := len(items) - k + 1
+	if workers > n {
+		workers = n
+	}
+	counts := make([]int64, workers)
+	parallelShards(n, workers, func(w, first int) {
+		eclatKTidListSubtree(v, items, k, minSupport, first, func(Itemset, int) {
+			counts[w]++
+		})
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// SupportHistogramParallel is SupportHistogram with a worker pool:
+// per-worker histograms over the sharded eclat search, merged by integer
+// addition, so the result is exactly SupportHistogram's for any worker count.
+func SupportHistogramParallel(v *dataset.Vertical, k, minSupport, workers int) []int64 {
+	if k < 1 || minSupport < 1 {
+		panic("mining: SupportHistogram requires k >= 1 and minSupport >= 1")
+	}
+	workers = ResolveWorkers(workers)
+	if workers <= 1 || k == 1 || useHashPath(v, k, minSupport) {
+		return SupportHistogram(v, k, minSupport)
+	}
+	items := frequentItems(v, minSupport)
+	size := v.MaxItemSupport() + 1
+	if len(items) < k {
+		return make([]int64, size)
+	}
+	n := len(items) - k + 1
+	if workers > n {
+		workers = n
+	}
+	hists := make([][]int64, workers)
+	for w := range hists {
+		hists[w] = make([]int64, size)
+	}
+	parallelShards(n, workers, func(w, first int) {
+		eclatKTidListSubtree(v, items, k, minSupport, first, func(_ Itemset, sup int) {
+			hists[w][sup]++
+		})
+	})
+	out := hists[0]
+	for _, h := range hists[1:] {
+		for s, c := range h {
+			out[s] += c
+		}
+	}
+	return out
+}
+
+// VisitKParallel streams every k-itemset with support >= minSupport to emit
+// in exactly VisitK's order, mining the eclat subtrees with a worker pool and
+// replaying the per-subtree buffers sequentially. emit itself is never called
+// concurrently, and the itemset it receives is owned by the callee only for
+// the duration of the call, as with VisitK. The hash-mining path and k = 1
+// stay serial (both are trivial fractions of the total work when selected).
+func VisitKParallel(v *dataset.Vertical, k, minSupport, workers int, emit func(items Itemset, support int)) {
+	if k < 1 || minSupport < 1 {
+		panic("mining: VisitK requires k >= 1 and minSupport >= 1")
+	}
+	workers = ResolveWorkers(workers)
+	if workers <= 1 || k == 1 || useHashPath(v, k, minSupport) {
+		VisitK(v, k, minSupport, emit)
+		return
+	}
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return
+	}
+	n := len(items) - k + 1
+	bufs := make([][]Result, n)
+	parallelShards(n, workers, func(_, first int) {
+		bufs[first] = collectSubtree(func(emit func(Itemset, int)) {
+			eclatKTidListSubtree(v, items, k, minSupport, first, emit)
+		})
+	})
+	for i, b := range bufs {
+		for _, r := range b {
+			emit(r.Items, r.Support)
+		}
+		bufs[i] = nil // release as we replay; emit may retain copies of its own
+	}
+}
+
+// collectSubtree materializes one subtree's emissions.
+func collectSubtree(run func(emit func(Itemset, int))) []Result {
+	var out []Result
+	run(func(is Itemset, sup int) {
+		out = append(out, Result{Items: is.Clone(), Support: sup})
+	})
+	return out
+}
+
+// mergeShardResults concatenates per-subtree buffers in subtree order.
+func mergeShardResults(bufs [][]Result) []Result {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Result, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package mining
+
+import (
+	"reflect"
+	"testing"
+
+	"sigfim/internal/dataset"
+	"sigfim/internal/stats"
+)
+
+// plantedDataset builds a deterministic synthetic dataset: n items placed
+// i.i.d. with probability p over t transactions, plus a planted itemset
+// occurring in every plantEvery-th transaction — structure for the miners to
+// find at high support.
+func plantedDataset(seed uint64, n, t int, p float64, planted []uint32, plantEvery int) *dataset.Dataset {
+	r := stats.NewRNG(seed)
+	tx := make([][]uint32, t)
+	for i := range tx {
+		for it := 0; it < n; it++ {
+			if r.Bernoulli(p) {
+				tx[i] = append(tx[i], uint32(it))
+			}
+		}
+		if plantEvery > 0 && i%plantEvery == 0 {
+			tx[i] = append(tx[i], planted...)
+		}
+	}
+	return dataset.MustNew(n, tx)
+}
+
+// crossAlgoCases is the shared table for the equivalence tests: datasets with
+// different shapes (dense, sparse, tiny universe) crossed with (k, s) grids.
+var crossAlgoCases = []struct {
+	name string
+	gen  func() *dataset.Dataset
+	ks   []int
+	sups []int
+}{
+	{
+		name: "dense",
+		gen: func() *dataset.Dataset {
+			return plantedDataset(11, 30, 400, 0.20, []uint32{3, 7, 11}, 4)
+		},
+		ks:   []int{1, 2, 3},
+		sups: []int{10, 40, 90},
+	},
+	{
+		name: "sparse",
+		gen: func() *dataset.Dataset {
+			return plantedDataset(23, 120, 600, 0.02, []uint32{5, 50, 100}, 6)
+		},
+		ks:   []int{2, 3},
+		sups: []int{2, 5, 20},
+	},
+	{
+		name: "tiny-universe",
+		gen: func() *dataset.Dataset {
+			return plantedDataset(37, 8, 200, 0.45, []uint32{0, 1}, 3)
+		},
+		ks:   []int{1, 2, 3, 4},
+		sups: []int{1, 25, 120},
+	},
+}
+
+// TestCrossAlgorithmEquivalenceAcrossWorkers mines the same datasets with
+// every algorithm at Workers 1 and 4 and asserts identical sorted result
+// sets; FP-Growth (always serial) anchors the comparison.
+func TestCrossAlgorithmEquivalenceAcrossWorkers(t *testing.T) {
+	for _, tc := range crossAlgoCases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.gen()
+			v := d.Vertical()
+			for _, k := range tc.ks {
+				for _, s := range tc.sups {
+					want := FPGrowthK(d, k, s)
+					sortByItems(want)
+					for _, workers := range []int{1, 4} {
+						for _, algo := range []Algorithm{Apriori, EclatTids, EclatBits, FPGrowth} {
+							got, err := MineVertical(v, Options{
+								K: k, MinSupport: s, Algorithm: algo, Workers: workers,
+							})
+							if err != nil {
+								t.Fatalf("k=%d s=%d %v workers=%d: %v", k, s, algo, workers, err)
+							}
+							sortByItems(got)
+							if !resultsEqual(got, append([]Result(nil), want...)) {
+								t.Fatalf("k=%d s=%d %v workers=%d: %d results, fpgrowth has %d",
+									k, s, algo, workers, len(got), len(want))
+							}
+						}
+						// CountK must agree with the materialized size.
+						if got, want := CountKParallel(v, k, s, workers), int64(len(want)); got != want {
+							t.Fatalf("CountKParallel(k=%d,s=%d,w=%d) = %d, want %d", k, s, workers, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialExactly pins the stronger guarantee the engine is
+// built around: parallel output equals serial output including order, for
+// every worker count.
+func TestParallelMatchesSerialExactly(t *testing.T) {
+	for _, tc := range crossAlgoCases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.gen()
+			v := d.Vertical()
+			for _, k := range tc.ks {
+				for _, s := range tc.sups {
+					for _, workers := range []int{2, 3, 8} {
+						if got, want := EclatKTidListParallel(v, k, s, workers), EclatKTidList(v, k, s); !reflect.DeepEqual(got, want) {
+							t.Fatalf("tids k=%d s=%d w=%d: parallel order differs from serial", k, s, workers)
+						}
+						if got, want := EclatKBitsetParallel(v, k, s, workers), EclatKBitset(v, k, s); !reflect.DeepEqual(got, want) {
+							t.Fatalf("bits k=%d s=%d w=%d: parallel order differs from serial", k, s, workers)
+						}
+					}
+				}
+				for _, workers := range []int{2, 8} {
+					if got, want := AprioriKParallel(d, k, 3, workers), AprioriK(d, k, 3); !reflect.DeepEqual(got, want) {
+						t.Fatalf("apriori k=%d w=%d: parallel differs from serial", k, workers)
+					}
+				}
+			}
+			for _, workers := range []int{2, 8} {
+				if got, want := EclatAllParallel(v, 5, 3, workers), EclatAll(v, 5, 3); !reflect.DeepEqual(got, want) {
+					t.Fatalf("eclat-all w=%d: parallel order differs from serial", workers)
+				}
+				if got, want := AprioriAllParallel(d, 5, 3, workers), AprioriAll(d, 5, 3); !reflect.DeepEqual(got, want) {
+					t.Fatalf("apriori-all w=%d: parallel differs from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCountAndHistogramParallel checks the counting reductions against their
+// serial counterparts on random datasets (property-style, many shapes).
+func TestCountAndHistogramParallel(t *testing.T) {
+	r := stats.NewRNG(404)
+	for trial := 0; trial < 25; trial++ {
+		d := randomDataset(r, 12, 60)
+		v := d.Vertical()
+		for k := 1; k <= 3; k++ {
+			for _, s := range []int{1, 2, 6} {
+				for _, workers := range []int{2, 5} {
+					if got, want := CountKParallel(v, k, s, workers), CountK(v, k, s); got != want {
+						t.Fatalf("trial %d CountK(k=%d,s=%d,w=%d) = %d, want %d", trial, k, s, workers, got, want)
+					}
+					got := SupportHistogramParallel(v, k, s, workers)
+					want := SupportHistogram(v, k, s)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d SupportHistogram(k=%d,s=%d,w=%d) differs", trial, k, s, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVisitKParallelOrder asserts the streaming variant replays emissions in
+// exactly VisitK's order on a dataset dense enough to take the eclat path.
+func TestVisitKParallelOrder(t *testing.T) {
+	d := plantedDataset(55, 25, 500, 0.25, []uint32{2, 9, 17}, 5)
+	v := d.Vertical()
+	for _, k := range []int{2, 3} {
+		for _, s := range []int{20, 60} {
+			var serial, par []Result
+			VisitK(v, k, s, func(is Itemset, sup int) {
+				serial = append(serial, Result{Items: is.Clone(), Support: sup})
+			})
+			VisitKParallel(v, k, s, 4, func(is Itemset, sup int) {
+				par = append(par, Result{Items: is.Clone(), Support: sup})
+			})
+			if len(serial) == 0 {
+				t.Fatalf("k=%d s=%d: empty mining output, test is vacuous", k, s)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("k=%d s=%d: VisitKParallel order differs from VisitK", k, s)
+			}
+		}
+	}
+}

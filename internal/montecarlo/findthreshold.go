@@ -52,9 +52,14 @@ type Config struct {
 	MaxEntries int
 	// MaxHalvings bounds the s-tilde halving loop. Zero means 20.
 	MaxHalvings int
-	// Workers bounds the goroutines mining replicates concurrently. Zero
-	// means GOMAXPROCS. Results are merged in replicate order, so the
-	// output is identical for any worker count.
+	// Workers bounds the total mining parallelism. Zero means GOMAXPROCS.
+	// Workers are split between replicate-level and intra-mine parallelism:
+	// up to Delta goroutines each mine one replicate (replicates are
+	// embarrassingly parallel, so this level is saturated first), and only
+	// when Workers exceeds the replicate count does the surplus parallelize
+	// each individual mine through the sharded Eclat engine. Results are
+	// merged in replicate order and intra-mine shards replay in serial
+	// order, so the output is identical for any worker count.
 	Workers int
 }
 
@@ -408,7 +413,11 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Split the budget: replicate-level parallelism soaks up workers first;
+	// any surplus parallelizes each replicate's mine.
+	intra := 1
 	if workers > len(seeds) {
+		intra = workers / len(seeds)
 		workers = len(seeds)
 	}
 
@@ -434,7 +443,7 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 				v := m.Generate(stats.NewRNG(seeds[rep]))
 				var out repOutput
 				mineFloor := int(minFloor.Load())
-				mining.VisitK(v, k, mineFloor, func(items mining.Itemset, sup int) {
+				mining.VisitKParallel(v, k, mineFloor, intra, func(items mining.Itemset, sup int) {
 					out.keys = append(out.keys, items.Key())
 					out.sups = append(out.sups, int32(sup))
 				})

@@ -178,6 +178,10 @@ type MineOptions struct {
 	MaxLen int
 	// Algorithm is one of the Algo* constants ("" = auto).
 	Algorithm string
+	// Workers bounds the goroutines of the parallel mining engine: 0 uses
+	// every CPU, 1 forces serial mining. Results are identical for every
+	// worker count.
+	Workers int
 }
 
 // Mine runs classical frequent itemset mining.
@@ -201,6 +205,7 @@ func (ds *Dataset) Mine(opts MineOptions) ([]Pattern, error) {
 		MinSupport: opts.MinSupport,
 		MaxLen:     opts.MaxLen,
 		Algorithm:  algo,
+		Workers:    opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -214,9 +219,15 @@ func (ds *Dataset) Mine(opts MineOptions) ([]Pattern, error) {
 }
 
 // CountK returns Q_{k,s}: the number of k-itemsets with support >= s,
-// counted without materializing them.
+// counted without materializing them. The count runs on every CPU; use
+// CountKWorkers to bound the parallelism.
 func (ds *Dataset) CountK(k, minSupport int) int64 {
-	return mining.CountK(ds.vertical(), k, minSupport)
+	return mining.CountKParallel(ds.vertical(), k, minSupport, 0)
+}
+
+// CountKWorkers is CountK with an explicit worker bound (1 = serial).
+func (ds *Dataset) CountKWorkers(k, minSupport, workers int) int64 {
+	return mining.CountKParallel(ds.vertical(), k, minSupport, workers)
 }
 
 // ClosedItemsets mines all closed itemsets with support >= minSupport.

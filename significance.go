@@ -34,6 +34,11 @@ type Config struct {
 	// alternative null the paper's Section 1.1 anticipates. Considerably
 	// slower: every Monte Carlo replicate re-runs the swap chain.
 	SwapNull bool
+	// Workers bounds the goroutines of every parallel stage (Monte Carlo
+	// replicate mining, observed-dataset counting, pattern materialization):
+	// 0 uses every CPU, 1 forces serial execution. For a fixed Seed the
+	// report is identical for every worker count.
+	Workers int
 }
 
 func (c *Config) withDefaults() core.Options {
@@ -45,6 +50,7 @@ func (c *Config) withDefaults() core.Options {
 		o.Delta = c.Delta
 		o.Seed = c.Seed
 		o.RunProcedure1 = c.WithBaseline
+		o.Workers = c.Workers
 	}
 	return o
 }
@@ -130,7 +136,7 @@ func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
 			maxPat = cfg.MaxPatterns
 		}
 		if rep.NumSignificant <= int64(maxPat) {
-			ps, err := ds.Mine(MineOptions{K: k, MinSupport: rep.SStar})
+			ps, err := ds.Mine(MineOptions{K: k, MinSupport: rep.SStar, Workers: opts.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -156,11 +162,11 @@ func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
 // FindSMin runs Algorithm 1 alone against the dataset's null model and
 // returns the estimated Poisson threshold ŝ_min for size-k itemsets.
 func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
-	var delta int
+	var delta, workers int
 	var eps float64
 	var seed uint64
 	if cfg != nil {
-		delta, eps, seed = cfg.Delta, cfg.Epsilon, cfg.Seed
+		delta, eps, seed, workers = cfg.Delta, cfg.Epsilon, cfg.Seed, cfg.Workers
 	}
 	if delta == 0 {
 		delta = 1000
@@ -173,7 +179,7 @@ func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
 		Freqs: ds.d.Frequencies(),
 	}
 	res, err := montecarlo.FindPoissonThreshold(m, montecarlo.Config{
-		K: k, Delta: delta, Epsilon: eps, Seed: seed,
+		K: k, Delta: delta, Epsilon: eps, Seed: seed, Workers: workers,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("sigfim: %w", err)

@@ -27,6 +27,7 @@ import (
 
 	"sigfim/internal/core"
 	"sigfim/internal/dataset"
+	"sigfim/internal/mining"
 	"sigfim/internal/montecarlo"
 	"sigfim/internal/randmodel"
 	"sigfim/internal/stats"
@@ -43,13 +44,21 @@ var (
 	flagSeed     = flag.Uint64("seed", 20090629, "base random seed")
 	flagVerbose  = flag.Bool("verbose", false, "print per-step diagnostics")
 	flagWorkers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
+	flagAlgo     = flag.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
 )
+
+// algo holds the parsed -algo selection; every table's mining stages use it.
+var algo mining.Algorithm
 
 func main() {
 	flag.Parse()
 	ks, err := parseKs(*flagK)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if algo, err = mining.ParseAlgorithm(*flagAlgo); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 	specs, err := selectSpecs(*flagDatasets, *flagScale)
@@ -137,7 +146,7 @@ func table2(specs []synth.Spec, ks []int) {
 		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
 		for i, k := range ks {
 			res, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
-				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers,
+				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo,
 			})
 			if err != nil {
 				cells[i] = "err:" + err.Error()
@@ -158,7 +167,7 @@ func table3(specs []synth.Spec, ks []int) {
 		v := spec.GenerateReal(*flagSeed)
 		for _, k := range ks {
 			a, err := core.Analyze(spec.Name, v, k, core.Options{
-				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers,
+				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo,
 			})
 			if err != nil {
 				fmt.Printf("%-12s %4d  error: %v\n", spec.Name, k, err)
@@ -197,7 +206,7 @@ func table4(specs []synth.Spec, ks []int) {
 		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
 		for i, k := range ks {
 			mc, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
-				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers,
+				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo,
 			})
 			if err != nil {
 				cells[i] = "err:" + err.Error()
@@ -216,7 +225,7 @@ func table4(specs []synth.Spec, ks []int) {
 			finite := 0
 			for trial := 0; trial < *flagTrials; trial++ {
 				v := null.Generate(stats.NewRNG(*flagSeed + uint64(1000+trial)))
-				p2, err := core.Procedure2Ex(v, k, sMin, lambda, 0.05, 0.05, core.SplitEqual, *flagWorkers)
+				p2, err := core.Procedure2Ex(v, k, sMin, lambda, 0.05, 0.05, core.SplitEqual, *flagWorkers, algo)
 				if err != nil {
 					cells[i] = "err:" + err.Error()
 					break
@@ -242,7 +251,7 @@ func table5(specs []synth.Spec, ks []int) {
 		v := spec.GenerateReal(*flagSeed)
 		for _, k := range ks {
 			a, err := core.Analyze(spec.Name, v, k, core.Options{
-				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers, RunProcedure1: true,
+				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo, RunProcedure1: true,
 			})
 			if err != nil {
 				fmt.Printf("%-12s %4d  error: %v\n", spec.Name, k, err)

@@ -3,13 +3,14 @@
 //
 // Subcommands:
 //
-//	sigfim mine -in data.dat -minsup 100 [-k 2] [-algo eclat|apriori|fpgrowth] [-top 50]
+//	sigfim mine -in data.dat -minsup 100 [-k 2] [-algo auto|eclat|eclat-bits|apriori|fpgrowth] [-workers N] [-top 50]
 //	    Classical frequent itemset mining.
 //	sigfim smin -in data.dat -k 2 [-delta 1000] [-eps 0.01] [-seed 1]
+//	    [-algo fpgrowth] [-workers N]
 //	    Algorithm 1: estimate the Poisson threshold ŝ_min of the dataset's
 //	    null model.
 //	sigfim significant -in data.dat -k 2 [-alpha 0.05] [-beta 0.05]
-//	    [-delta 1000] [-baseline] [-top 50]
+//	    [-delta 1000] [-baseline] [-algo fpgrowth] [-workers N] [-top 50]
 //	    The full methodology: ŝ_min, the threshold ladder, s*, and the
 //	    significant family with its FDR certificate.
 //	sigfim closed -in data.dat -minsup 100 [-top 50]
@@ -103,12 +104,15 @@ func cmdSMin(args []string) error {
 	eps := fs.Float64("eps", 0.01, "Poisson tolerance")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
+	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
 	fs.Parse(args)
 	d, err := load(*in)
 	if err != nil {
 		return err
 	}
-	s, err := d.FindSMin(*k, &sigfim.Config{Delta: *delta, Epsilon: *eps, Seed: *seed, Workers: *workers})
+	s, err := d.FindSMin(*k, &sigfim.Config{
+		Delta: *delta, Epsilon: *eps, Seed: *seed, Workers: *workers, Algorithm: *algo,
+	})
 	if err != nil {
 		return err
 	}
@@ -127,6 +131,7 @@ func cmdSignificant(args []string) error {
 	baseline := fs.Bool("baseline", false, "also run the Benjamini-Yekutieli baseline")
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
+	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
 	fs.Parse(args)
 	d, err := load(*in)
 	if err != nil {
@@ -134,7 +139,7 @@ func cmdSignificant(args []string) error {
 	}
 	rep, err := d.Significant(*k, &sigfim.Config{
 		Alpha: *alpha, Beta: *beta, Delta: *delta, Seed: *seed,
-		WithBaseline: *baseline, Workers: *workers,
+		WithBaseline: *baseline, Workers: *workers, Algorithm: *algo,
 	})
 	if err != nil {
 		return err

@@ -17,13 +17,6 @@
 //   - The expected fraction of false discoveries in the returned family is
 //     at most beta.
 //
-// The machinery behind the guarantee is a Chen-Stein Poisson approximation:
-// above a computable support s_min, the number of frequent k-itemsets in a
-// random dataset is approximately Poisson, so observed counts can be tested
-// against exact Poisson tails. s_min itself is estimated by Monte Carlo
-// (Algorithm 1 of the paper), and a Benjamini-Yekutieli per-itemset baseline
-// (Procedure 1) is included for comparison.
-//
 // # Quick start
 //
 //	d, err := sigfim.OpenFIMI("transactions.dat")
@@ -37,11 +30,64 @@
 //	        report.SStar, report.NumSignificant, report.Lambda)
 //	}
 //
-// Lower-level entry points expose the individual components: Mine for plain
-// frequent itemset mining (Apriori, Eclat, FP-Growth), FindSMin for the
-// Poisson threshold alone, RandomTwin / SwapTwin for null-model dataset
-// generation, and BenchmarkProfile for the paper's six synthetic benchmark
-// profiles.
+// # Architecture: paper concepts to packages
+//
+// The pipeline behind Significant maps onto the internal packages as
+// follows; every stage is also reachable individually through the exported
+// entry points named below.
+//
+// Random support model (paper Section 2). The null hypothesis is a dataset
+// with the same transaction count t and per-item frequencies f_i, items
+// placed independently. internal/randmodel implements it (IndependentModel)
+// along with the alternative swap-randomization null (SwapModel) that
+// additionally preserves transaction lengths. Exported as
+// Dataset.RandomTwin, Dataset.SwapTwin, GenerateRandom, and — for the
+// significance pipeline — Config.SwapNull.
+//
+// Poisson regime search, s_min (Algorithm 1). Above a threshold s_min the
+// count Q_{k,s} of frequent k-itemsets in a random dataset is approximately
+// Poisson, by a Chen-Stein argument whose b1/b2 terms are estimated by Monte
+// Carlo: internal/montecarlo generates Delta random replicates, mines each,
+// and searches the empirical bound curve for b1+b2 <= eps/4.
+// internal/chenstein provides the exact analytic counterpart used as a test
+// oracle. Exported as Dataset.FindSMin; the replicate count for a target
+// confidence is montecarlo.DeltaForConfidence (Theorem 4).
+//
+// Threshold selection with FDR control, s* (Procedure 2). internal/core
+// tests the geometric ladder s_i = s_min + 2^i against exact Poisson tails
+// (internal/stats), rejecting when the observed count Q_{k,s_i} is both
+// improbable (p <= alpha_i) and large relative to the null mean
+// (Q >= beta_i * lambda_i); the first rejected level is s*. The ladder's
+// counts come from one support-histogram mining pass (internal/mining).
+// Exported as Dataset.Significant, which returns the full Report including
+// the ladder trace.
+//
+// Per-itemset baseline (Procedure 1). The Benjamini-Yekutieli correction
+// over individual itemset p-values, implemented in internal/mht and driven
+// by internal/core; the power ratio r = Q_{k,s*}/|R| is the paper's Table 5
+// comparison. Exported via Config.WithBaseline and Report.Baseline.
+//
+// Mining engine. internal/mining implements the miners every stage above
+// consumes: Eclat over sorted tid lists or dense bitsets (layout chosen by
+// density), level-wise Apriori with a candidate prefix trie, FP-Growth with
+// sharded conditional pattern trees, a hash-based path for very low
+// thresholds on sparse data, closed and maximal itemset enumeration, and
+// counting primitives (CountK, SupportHistogram) that avoid materializing
+// enormous families. internal/dataset supplies the horizontal and vertical
+// layouts plus FIMI I/O; internal/bitset the intersection kernels.
+// Exported as Dataset.Mine (MineOptions selects algorithm, K, threshold,
+// workers), Dataset.CountK, Dataset.ClosedItemsets, Dataset.MaximalItemsets,
+// and Dataset.TopKItemsets.
+//
+// Association rules. internal/rules derives rules from mined itemsets with
+// exact Binomial and Fisher significance p-values and BY selection,
+// exported as Dataset.Rules and Dataset.SignificantRules.
+//
+// Benchmarks and experiments. internal/synth reproduces the paper's six
+// Table 1 dataset profiles as deterministic generators (exported as
+// BenchmarkProfile / BenchmarkSpec); cmd/experiments regenerates Tables
+// 1-5, cmd/sigfim is the general-purpose mining CLI, and cmd/fimigen
+// synthesizes FIMI files.
 //
 // # Parallelism and determinism
 //
@@ -50,13 +96,21 @@
 // CPU, 1 forces serial execution, and any other value bounds the worker
 // goroutines. Eclat shards the prefix tree's first-item equivalence classes
 // across the pool, Apriori parallelizes its candidate-counting scans over
-// transaction chunks, and the Monte Carlo estimator splits workers between
-// replicate-level and intra-mine parallelism (FP-Growth mines serially).
+// transaction chunks, FP-Growth shards the header-table suffix classes of
+// the global tree (its support-counting and transaction-preprocessing scans
+// also run chunked), and the Monte Carlo estimator splits workers between
+// replicate-level and intra-mine parallelism.
 //
-// The engine guarantees determinism: for a fixed Seed, every result —
-// including FindSMin's threshold and the complete Significant report — is
-// identical for every worker count. Parallel reductions merge per-worker
-// buffers in a fixed order (mining output order even matches the serial DFS
-// exactly), and each Monte Carlo replicate derives its RNG from its own
-// per-replicate seed, so scheduling never influences random streams.
+// Both option structs also expose an Algorithm knob (the Algo* constants)
+// selecting the miner that drives every stage — plain mining, Monte Carlo
+// replicate mining, and Procedure 2's counting pass. Every algorithm mines
+// exactly the same itemsets, so the choice affects performance only.
+//
+// The engine guarantees determinism: for a fixed Seed and algorithm, every
+// result — including FindSMin's threshold and the complete Significant
+// report — is identical for every worker count. Parallel reductions merge
+// per-worker buffers in a fixed order (mining output order even matches the
+// serial order exactly), and each Monte Carlo replicate derives its RNG
+// from its own per-replicate seed, so scheduling never influences random
+// streams.
 package sigfim

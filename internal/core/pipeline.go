@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sigfim/internal/dataset"
+	"sigfim/internal/mining"
 	"sigfim/internal/montecarlo"
 	"sigfim/internal/randmodel"
 )
@@ -39,6 +40,12 @@ type Options struct {
 	// runtime.NumCPU(), 1 forces serial execution. Results are identical for
 	// every worker count.
 	Workers int
+	// Algorithm selects the frequent-itemset miner driving both Algorithm
+	// 1's replicate mining and Procedure 2's counting pass (mining.Auto
+	// picks Eclat with an automatic layout; mining.FPGrowth and
+	// mining.Apriori force those engines). All algorithms mine identical
+	// itemsets, so the choice affects performance only.
+	Algorithm mining.Algorithm
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +108,7 @@ func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, 
 		Seed:       opts.Seed,
 		MaxEntries: opts.MaxEntries,
 		Workers:    opts.Workers,
+		Algorithm:  opts.Algorithm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: Algorithm 1: %w", err)
@@ -120,7 +128,7 @@ func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, 
 		}
 		return mc.Lambda(s)
 	}
-	p2, err := Procedure2Ex(v, k, sMin, lambda, opts.Alpha, opts.Beta, SplitEqual, opts.Workers)
+	p2, err := Procedure2Ex(v, k, sMin, lambda, opts.Alpha, opts.Beta, SplitEqual, opts.Workers, opts.Algorithm)
 	if err != nil {
 		return nil, err
 	}

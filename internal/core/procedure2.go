@@ -67,19 +67,20 @@ func (bs BudgetSplit) splitWeights(h int) []float64 {
 //
 // and s* is the first rejected level (the minimum s_i).
 func Procedure2(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, beta float64) (*Procedure2Result, error) {
-	return Procedure2Ex(v, k, sMin, lambda, alpha, beta, SplitEqual, 0)
+	return Procedure2Ex(v, k, sMin, lambda, alpha, beta, SplitEqual, 0, mining.Auto)
 }
 
 // Procedure2Split is Procedure2 with an explicit budget split strategy.
 func Procedure2Split(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, beta float64, split BudgetSplit) (*Procedure2Result, error) {
-	return Procedure2Ex(v, k, sMin, lambda, alpha, beta, split, 0)
+	return Procedure2Ex(v, k, sMin, lambda, alpha, beta, split, 0, mining.Auto)
 }
 
 // Procedure2Ex is Procedure2Split with an explicit worker count for the
-// counting pass (0 = NumCPU, 1 = serial). The result is identical for every
-// worker count: the only parallel step is the integer support histogram,
-// which merges per-worker histograms by addition.
-func Procedure2Ex(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, beta float64, split BudgetSplit, workers int) (*Procedure2Result, error) {
+// counting pass (0 = NumCPU, 1 = serial) and an explicit mining algorithm
+// (mining.Auto = Eclat with automatic layout). The result is identical for
+// every worker count and algorithm: the counting pass is an integer support
+// histogram, which every miner fills identically.
+func Procedure2Ex(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, beta float64, split BudgetSplit, workers int, algo mining.Algorithm) (*Procedure2Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
@@ -113,7 +114,7 @@ func Procedure2Ex(v *dataset.Vertical, k, sMin int, lambda LambdaFunc, alpha, be
 	weights := split.splitWeights(h)
 
 	// One histogram pass at s_min yields every Q_{k,s_i}.
-	hist := mining.SupportHistogramParallel(v, k, sMin, workers)
+	hist := mining.SupportHistogramAlgoParallel(v, k, sMin, workers, algo)
 	qCurve := mining.CumulativeQ(hist)
 	qAt := func(s int) int64 {
 		if s >= len(qCurve) {

@@ -151,6 +151,21 @@ func BenchmarkEclatBitsetParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFPGrowthParallel measures the sharded conditional-tree miner next
+// to the Eclat scaling benchmarks: the serial global-tree build is a fixed
+// cost, so the per-worker speedup ceiling is set by the mining fraction
+// (Amdahl) and by header-item skew.
+func BenchmarkFPGrowthParallel(b *testing.B) {
+	d := benchDataset(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FPGrowthKParallel(d, 3, 60, w)
+			}
+		})
+	}
+}
+
 func BenchmarkCountKParallel(b *testing.B) {
 	v := benchDataset(b).Vertical()
 	for _, w := range []int{1, 4} {

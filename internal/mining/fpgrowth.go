@@ -2,6 +2,7 @@ package mining
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"sigfim/internal/dataset"
 )
@@ -10,6 +11,15 @@ import (
 // ordered by descending support so common prefixes share nodes), then mines
 // recursively by building conditional trees per suffix item. No candidate
 // generation; each recursion multiplies the suffix pattern.
+//
+// Parallel decomposition: after the (serial-insertion) global tree build, the
+// header-table items are independent bottom-up suffix classes — mining item X
+// reads only the global tree (which is immutable once built) and private
+// conditional trees, so the classes shard across the same dynamic worker pool
+// Eclat uses, with per-suffix result buffers merged in header order. The
+// merged stream equals the serial emission stream exactly, and the final
+// lexicographic sort is deterministic (itemsets are distinct), so parallel
+// output is bit-identical to serial, including order, for every worker count.
 
 // fpNode is one FP-tree node.
 type fpNode struct {
@@ -63,13 +73,82 @@ func (t *fpTree) insert(items []uint32, count int) {
 }
 
 // FPGrowthAll mines every itemset of size 1..maxLen (maxLen <= 0: unbounded)
-// with support >= minSupport.
+// with support >= minSupport, serially.
 func FPGrowthAll(d *dataset.Dataset, minSupport, maxLen int) []Result {
+	return FPGrowthAllParallel(d, minSupport, maxLen, 1)
+}
+
+// FPGrowthAllParallel is FPGrowthAll with a worker pool (workers <= 0:
+// NumCPU): the support-counting scan and the per-transaction filter-and-sort
+// shard over transaction chunks, and the conditional-tree mining shards the
+// header items. Output is identical (including order) to FPGrowthAll for any
+// worker count.
+func FPGrowthAllParallel(d *dataset.Dataset, minSupport, maxLen, workers int) []Result {
+	return fpGrowthCollect(d, minSupport, maxLen, workers, 0)
+}
+
+// FPGrowthK mines exactly the k-itemsets with support >= minSupport,
+// serially.
+func FPGrowthK(d *dataset.Dataset, k, minSupport int) []Result {
+	return FPGrowthKParallel(d, k, minSupport, 1)
+}
+
+// FPGrowthKParallel is FPGrowthK with a worker pool; output is identical
+// (including order) to FPGrowthK for any worker count. Sub-k patterns are
+// filtered out inside the emit path, before any Result is allocated.
+func FPGrowthKParallel(d *dataset.Dataset, k, minSupport, workers int) []Result {
+	if k < 1 {
+		panic("mining: FPGrowthK requires k >= 1")
+	}
+	return fpGrowthCollect(d, minSupport, k, workers, k)
+}
+
+// fpGrowthCollect is the shared FP-Growth driver: it materializes the mined
+// patterns up to maxLen, keeping only those of length onlyLen when
+// onlyLen > 0, and returns them lexicographically sorted. The mine itself
+// shards the header-table suffix classes over the worker pool; the final
+// total sort over distinct itemsets makes the output independent of the
+// shard schedule, so it is bit-identical to a serial run.
+func fpGrowthCollect(d *dataset.Dataset, minSupport, maxLen, workers, onlyLen int) []Result {
 	if minSupport < 1 {
 		panic("mining: FPGrowth requires minSupport >= 1")
 	}
-	supports := d.ItemSupports()
-	// Rank items by descending support (ties by id) and keep frequent ones.
+	workers = ResolveWorkers(workers)
+	tree := buildFPTree(d, fpRankOrder(d, minSupport, workers), workers)
+
+	// Top-level suffix classes in serial mining order: descending rank.
+	items := fpTreeItems(tree, minSupport)
+	collect := func(out *[]Result) func(Itemset, int) {
+		return func(pattern Itemset, sup int) {
+			if onlyLen > 0 && len(pattern) != onlyLen {
+				return
+			}
+			sort.Slice(pattern, func(a, b int) bool { return pattern[a] < pattern[b] })
+			*out = append(*out, Result{Items: pattern, Support: sup})
+		}
+	}
+	var out []Result
+	if workers <= 1 || len(items) <= 1 {
+		suffix := make(Itemset, 0, 16)
+		for _, it := range items {
+			fpMineItem(tree, it, minSupport, maxLen, suffix, collect(&out))
+		}
+	} else {
+		bufs := make([][]Result, len(items))
+		parallelShards(len(items), workers, func(_, shard int) {
+			fpMineItem(tree, items[shard], minSupport, maxLen, nil, collect(&bufs[shard]))
+		})
+		out = mergeShardResults(bufs)
+	}
+	sortByItems(out)
+	return out
+}
+
+// fpRankOrder ranks the frequent items by descending support (ties by
+// ascending id) and returns the item -> rank map that fixes the FP-tree
+// shape; the support scan shards over the workers.
+func fpRankOrder(d *dataset.Dataset, minSupport, workers int) map[uint32]int {
+	supports := fpItemSupports(d, workers)
 	type itemSup struct {
 		item uint32
 		sup  int
@@ -90,49 +169,137 @@ func FPGrowthAll(d *dataset.Dataset, minSupport, maxLen int) []Result {
 	for rank, is := range freq {
 		order[is.item] = rank
 	}
-	tree := newFPTree(order)
-	scratch := make([]uint32, 0, 64)
-	for _, tr := range d.Transactions() {
-		scratch = scratch[:0]
-		for _, it := range tr {
-			if _, ok := order[it]; ok {
-				scratch = append(scratch, it)
+	return order
+}
+
+// fpItemSupports counts n(i) for every item. With workers > 1 the scan
+// shards the transactions into chunks counted into per-worker flat arrays
+// (the pattern Apriori's candidate counting uses) merged by integer addition;
+// serial runs read the dataset's cached supports.
+func fpItemSupports(d *dataset.Dataset, workers int) []int {
+	txs := d.Transactions()
+	const chunkSize = 2048
+	numChunks := (len(txs) + chunkSize - 1) / chunkSize
+	if workers <= 1 || numChunks <= 1 {
+		return d.ItemSupports()
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+	counts := make([][]int32, workers)
+	for w := range counts {
+		counts[w] = make([]int32, d.NumItems())
+	}
+	parallelShards(numChunks, workers, func(w, chunk int) {
+		lo := chunk * chunkSize
+		hi := lo + chunkSize
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		c := counts[w]
+		for _, tr := range txs[lo:hi] {
+			for _, it := range tr {
+				c[it]++
 			}
 		}
-		sort.Slice(scratch, func(a, b int) bool { return order[scratch[a]] < order[scratch[b]] })
-		if len(scratch) > 0 {
-			tree.insert(scratch, 1)
-		}
-	}
-	var out []Result
-	suffix := make(Itemset, 0, 16)
-	fpMine(tree, minSupport, maxLen, suffix, &out)
-	for i := range out {
-		sort.Slice(out[i].Items, func(a, b int) bool { return out[i].Items[a] < out[i].Items[b] })
-	}
-	sortByItems(out)
-	return out
-}
-
-// FPGrowthK mines exactly the k-itemsets with support >= minSupport.
-func FPGrowthK(d *dataset.Dataset, k, minSupport int) []Result {
-	all := FPGrowthAll(d, minSupport, k)
-	out := all[:0]
-	for _, r := range all {
-		if len(r.Items) == k {
-			out = append(out, r)
+	})
+	out := make([]int, d.NumItems())
+	for _, c := range counts {
+		for i, n := range c {
+			out[i] += int(n)
 		}
 	}
 	return out
 }
 
-// fpMine emits suffix-extended patterns from the (conditional) tree.
-func fpMine(t *fpTree, minSupport, maxLen int, suffix Itemset, out *[]Result) {
-	if maxLen > 0 && len(suffix) >= maxLen {
-		return
+// buildFPTree constructs the global FP-tree. The per-transaction filtering
+// and rank-sorting shard over transaction chunks; insertion stays serial in
+// transaction order, so the tree — node counts AND header-chain order — is
+// identical to a fully serial build.
+func buildFPTree(d *dataset.Dataset, order map[uint32]int, workers int) *fpTree {
+	tree := newFPTree(order)
+	txs := d.Transactions()
+	const chunkSize = 1024
+	numChunks := (len(txs) + chunkSize - 1) / chunkSize
+	if workers <= 1 || numChunks <= 1 {
+		scratch := make([]uint32, 0, 64)
+		for _, tr := range txs {
+			scratch = fpFilterSort(scratch[:0], tr, order)
+			if len(scratch) > 0 {
+				tree.insert(scratch, 1)
+			}
+		}
+		return tree
 	}
-	// Visit items by ascending support rank order descending (least frequent
-	// first is traditional; any order is correct).
+	// Producer/consumer: workers filter chunks claimed off an atomic counter
+	// while the consumer inserts finished chunks strictly in chunk order. The
+	// semaphore bounds outstanding filtered chunks (filtering outruns the
+	// serial insertion), keeping the transient footprint O(workers · chunk)
+	// instead of a near-full filtered copy of the dataset.
+	if workers > numChunks {
+		workers = numChunks
+	}
+	outputs := make([]chan [][]uint32, numChunks)
+	for i := range outputs {
+		outputs[i] = make(chan [][]uint32, 1)
+	}
+	sem := make(chan struct{}, 2*workers)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				sem <- struct{}{}
+				chunk := int(next.Add(1)) - 1
+				if chunk >= numChunks {
+					<-sem
+					return
+				}
+				lo := chunk * chunkSize
+				hi := lo + chunkSize
+				if hi > len(txs) {
+					hi = len(txs)
+				}
+				out := make([][]uint32, hi-lo)
+				arena := make([]uint32, 0, (hi-lo)*8)
+				for i, tr := range txs[lo:hi] {
+					start := len(arena)
+					arena = fpFilterSort(arena, tr, order)
+					if len(arena) > start {
+						out[i] = arena[start:len(arena):len(arena)]
+					}
+				}
+				outputs[chunk] <- out
+			}
+		}()
+	}
+	for chunk := 0; chunk < numChunks; chunk++ {
+		for _, items := range <-outputs[chunk] {
+			if len(items) > 0 {
+				tree.insert(items, 1)
+			}
+		}
+		<-sem
+	}
+	return tree
+}
+
+// fpFilterSort appends the transaction's frequent items to dst and sorts the
+// appended region by ascending rank.
+func fpFilterSort(dst []uint32, tr []uint32, order map[uint32]int) []uint32 {
+	start := len(dst)
+	for _, it := range tr {
+		if _, ok := order[it]; ok {
+			dst = append(dst, it)
+		}
+	}
+	seg := dst[start:]
+	sort.Slice(seg, func(a, b int) bool { return order[seg[a]] < order[seg[b]] })
+	return dst
+}
+
+// fpTreeItems returns the tree's frequent items in mining order: descending
+// global rank (least frequent first, the traditional bottom-up visit).
+func fpTreeItems(t *fpTree, minSupport int) []uint32 {
 	items := make([]uint32, 0, len(t.support))
 	for it, s := range t.support {
 		if s >= minSupport {
@@ -140,29 +307,75 @@ func fpMine(t *fpTree, minSupport, maxLen int, suffix Itemset, out *[]Result) {
 		}
 	}
 	sort.Slice(items, func(a, b int) bool { return t.order[items[a]] > t.order[items[b]] })
-	for _, it := range items {
-		pattern := append(suffix.Clone(), it)
-		*out = append(*out, Result{Items: pattern, Support: t.support[it]})
-		if maxLen > 0 && len(pattern) >= maxLen {
-			continue
+	return items
+}
+
+// fpMine emits suffix-extended patterns from the (conditional) tree.
+func fpMine(t *fpTree, minSupport, maxLen int, suffix Itemset, emit func(Itemset, int)) {
+	if maxLen > 0 && len(suffix) >= maxLen {
+		return
+	}
+	for _, it := range fpTreeItems(t, minSupport) {
+		fpMineItem(t, it, minSupport, maxLen, suffix, emit)
+	}
+}
+
+// fpMineItem emits the pattern suffix ∪ {it} (freshly allocated; the callee
+// owns it) and recursively mines its conditional tree. It reads the shared
+// tree t but never mutates it, so distinct items may be mined concurrently
+// from the same tree.
+func fpMineItem(t *fpTree, it uint32, minSupport, maxLen int, suffix Itemset, emit func(Itemset, int)) {
+	pattern := append(suffix.Clone(), it)
+	emit(pattern, t.support[it])
+	if maxLen > 0 && len(pattern) >= maxLen {
+		return
+	}
+	// Build the conditional tree: prefix paths of every node carrying it.
+	cond := newFPTree(t.order)
+	for node := t.heads[it]; node != nil; node = node.next {
+		var path []uint32
+		for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+			path = append(path, p.item)
 		}
-		// Build the conditional tree: prefix paths of every node carrying it.
-		cond := newFPTree(t.order)
-		for node := t.heads[it]; node != nil; node = node.next {
-			var path []uint32
-			for p := node.parent; p != nil && p.parent != nil; p = p.parent {
-				path = append(path, p.item)
-			}
-			// path is bottom-up; reverse to root-down rank order.
-			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
-				path[l], path[r] = path[r], path[l]
-			}
-			if len(path) > 0 {
-				cond.insert(path, node.count)
-			}
+		// path is bottom-up; reverse to root-down rank order.
+		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+			path[l], path[r] = path[r], path[l]
 		}
-		if len(cond.support) > 0 {
-			fpMine(cond, minSupport, maxLen, pattern, out)
+		if len(path) > 0 {
+			cond.insert(path, node.count)
 		}
 	}
+	if len(cond.support) > 0 {
+		fpMine(cond, minSupport, maxLen, pattern, emit)
+	}
+}
+
+// fpGrowthSupportHistogram fills a support histogram of the k-itemsets with
+// support >= minSupport (hist[s] = count at support s, len(hist) = size)
+// without materializing any itemset: the header-item shards stream into
+// per-worker integer histograms merged by addition — order is irrelevant to
+// a histogram, so no buffers and no pattern allocations survive the mine.
+func fpGrowthSupportHistogram(d *dataset.Dataset, k, minSupport, workers, size int) []int64 {
+	if k < 1 || minSupport < 1 {
+		panic("mining: fpGrowthSupportHistogram requires k >= 1 and minSupport >= 1")
+	}
+	workers = ResolveWorkers(workers)
+	tree := buildFPTree(d, fpRankOrder(d, minSupport, workers), workers)
+	items := fpTreeItems(tree, minSupport)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	hists := newWorkerHistograms(workers, size)
+	parallelShards(len(items), workers, func(w, shard int) {
+		hist := hists[w]
+		fpMineItem(tree, items[shard], minSupport, k, nil, func(pattern Itemset, sup int) {
+			if len(pattern) == k {
+				hist[sup]++
+			}
+		})
+	})
+	return mergeWorkerHistograms(hists)
 }

@@ -40,6 +40,26 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm maps an algorithm name (as accepted by the CLIs and the
+// public API) to its Algorithm value. The empty string selects Auto; "eclat"
+// is an alias for "eclat-tids".
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "", "auto":
+		return Auto, nil
+	case "eclat", "eclat-tids":
+		return EclatTids, nil
+	case "eclat-bits":
+		return EclatBits, nil
+	case "apriori":
+		return Apriori, nil
+	case "fpgrowth":
+		return FPGrowth, nil
+	default:
+		return Auto, fmt.Errorf("mining: unknown algorithm %q", name)
+	}
+}
+
 // Options configures a mining run.
 type Options struct {
 	// K restricts output to itemsets of exactly this size when positive;
@@ -52,9 +72,12 @@ type Options struct {
 	// Algorithm selects the strategy; Auto by default.
 	Algorithm Algorithm
 	// Workers bounds the goroutines of the parallel engine; 0 selects
-	// runtime.NumCPU(), 1 forces the serial path. Output is identical —
-	// values and order — for every worker count (FP-Growth mines serially
-	// regardless; its conditional-tree recursion does not shard cleanly).
+	// runtime.NumCPU(), 1 forces the serial path. For a fixed algorithm the
+	// output is identical — values and order — for every worker count:
+	// Eclat shards first-item prefix classes, Apriori shards its counting
+	// scans, and FP-Growth shards the header-table suffix classes of the
+	// global tree. (Orders differ BETWEEN algorithms: Eclat emits DFS
+	// order, Apriori and FP-Growth emit lexicographically sorted output.)
 	Workers int
 }
 
@@ -77,9 +100,9 @@ func Mine(d *dataset.Dataset, opts Options) ([]Result, error) {
 		return AprioriAllParallel(d, opts.MinSupport, opts.MaxLen, opts.Workers), nil
 	case FPGrowth:
 		if opts.K > 0 {
-			return FPGrowthK(d, opts.K, opts.MinSupport), nil
+			return FPGrowthKParallel(d, opts.K, opts.MinSupport, opts.Workers), nil
 		}
-		return FPGrowthAll(d, opts.MinSupport, opts.MaxLen), nil
+		return FPGrowthAllParallel(d, opts.MinSupport, opts.MaxLen, opts.Workers), nil
 	default:
 		return nil, fmt.Errorf("mining: unknown algorithm %v", opts.Algorithm)
 	}
@@ -113,5 +136,55 @@ func MineVertical(v *dataset.Vertical, opts Options) ([]Result, error) {
 		return Mine(d, opts)
 	default:
 		return nil, fmt.Errorf("mining: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// VisitKAlgoParallel streams every k-itemset with support >= minSupport to
+// emit using the selected algorithm with a worker pool. Auto and EclatTids
+// stream through VisitKParallel; EclatBits, Apriori, and FP-Growth
+// materialize their result sets and replay them. emit is never called
+// concurrently, and for a fixed algorithm the emission order is identical
+// for every worker count (orders differ BETWEEN algorithms: Eclat variants
+// replay DFS order, Apriori and FP-Growth replay their lexicographically
+// sorted output).
+func VisitKAlgoParallel(v *dataset.Vertical, k, minSupport, workers int, algo Algorithm, emit func(items Itemset, support int)) {
+	switch algo {
+	case EclatBits:
+		for _, r := range EclatKBitsetParallel(v, k, minSupport, workers) {
+			emit(r.Items, r.Support)
+		}
+	case Apriori:
+		for _, r := range AprioriKParallel(v.Horizontal(), k, minSupport, workers) {
+			emit(r.Items, r.Support)
+		}
+	case FPGrowth:
+		for _, r := range FPGrowthKParallel(v.Horizontal(), k, minSupport, workers) {
+			emit(r.Items, r.Support)
+		}
+	default:
+		VisitKParallel(v, k, minSupport, workers, emit)
+	}
+}
+
+// SupportHistogramAlgoParallel is SupportHistogramParallel with an explicit
+// algorithm choice; every algorithm yields the exact same histogram, so the
+// choice only affects performance. FP-Growth streams shard-local counts
+// without materializing itemsets; EclatBits streams over the dense bitset
+// kernels; Apriori counts from its k-th level, which level-wise mining
+// materializes regardless.
+func SupportHistogramAlgoParallel(v *dataset.Vertical, k, minSupport, workers int, algo Algorithm) []int64 {
+	switch algo {
+	case EclatBits:
+		return supportHistogramBitsetParallel(v, k, minSupport, workers)
+	case FPGrowth:
+		return fpGrowthSupportHistogram(v.Horizontal(), k, minSupport, workers, v.MaxItemSupport()+1)
+	case Apriori:
+		hist := make([]int64, v.MaxItemSupport()+1)
+		for _, r := range AprioriKParallel(v.Horizontal(), k, minSupport, workers) {
+			hist[r.Support]++
+		}
+		return hist
+	default:
+		return SupportHistogramParallel(v, k, minSupport, workers)
 	}
 }

@@ -74,13 +74,15 @@ func EclatKTidListParallel(v *dataset.Vertical, k, minSupport, workers int) []Re
 	if k <= 0 || minSupport < 1 {
 		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
 	}
-	workers = ResolveWorkers(workers)
+	if workers = ResolveWorkers(workers); workers <= 1 {
+		return EclatKTidList(v, k, minSupport)
+	}
 	items := frequentItems(v, minSupport)
 	if len(items) < k {
 		return nil
 	}
 	n := len(items) - k + 1
-	if workers <= 1 || n <= 1 {
+	if n <= 1 {
 		return EclatKTidList(v, k, minSupport)
 	}
 	bufs := make([][]Result, n)
@@ -98,13 +100,15 @@ func EclatKBitsetParallel(v *dataset.Vertical, k, minSupport, workers int) []Res
 	if k <= 0 || minSupport < 1 {
 		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
 	}
-	workers = ResolveWorkers(workers)
+	if workers = ResolveWorkers(workers); workers <= 1 {
+		return EclatKBitset(v, k, minSupport)
+	}
 	items := frequentItems(v, minSupport)
 	if len(items) < k {
 		return nil
 	}
 	n := len(items) - k + 1
-	if workers <= 1 || n <= 1 {
+	if n <= 1 {
 		return EclatKBitset(v, k, minSupport)
 	}
 	if workers > n {
@@ -130,9 +134,11 @@ func EclatAllParallel(v *dataset.Vertical, minSupport, maxLen, workers int) []Re
 	if minSupport < 1 {
 		panic("mining: EclatAll requires minSupport >= 1")
 	}
-	workers = ResolveWorkers(workers)
+	if workers = ResolveWorkers(workers); workers <= 1 {
+		return EclatAll(v, minSupport, maxLen)
+	}
 	items := frequentItems(v, minSupport)
-	if workers <= 1 || len(items) <= 1 {
+	if len(items) <= 1 {
 		return EclatAll(v, minSupport, maxLen)
 	}
 	bufs := make([][]Result, len(items))
@@ -164,15 +170,43 @@ func CountKParallel(v *dataset.Vertical, k, minSupport, workers int) int64 {
 	}
 	counts := make([]int64, workers)
 	parallelShards(n, workers, func(w, first int) {
+		// Accumulate into a shard-local counter: counts' adjacent slots
+		// share cache lines, and incrementing them per emission would
+		// false-share across workers in the engine's hottest loop.
+		var local int64
 		eclatKTidListSubtree(v, items, k, minSupport, first, func(Itemset, int) {
-			counts[w]++
+			local++
 		})
+		counts[w] += local
 	})
 	var total int64
 	for _, c := range counts {
 		total += c
 	}
 	return total
+}
+
+// newWorkerHistograms allocates one int64 histogram of the given size per
+// worker.
+func newWorkerHistograms(workers, size int) [][]int64 {
+	hists := make([][]int64, workers)
+	for w := range hists {
+		hists[w] = make([]int64, size)
+	}
+	return hists
+}
+
+// mergeWorkerHistograms sums the per-worker histograms into the first one by
+// integer addition and returns it; the merged result is therefore identical
+// for any worker count.
+func mergeWorkerHistograms(hists [][]int64) []int64 {
+	out := hists[0]
+	for _, h := range hists[1:] {
+		for s, c := range h {
+			out[s] += c
+		}
+	}
+	return out
 }
 
 // SupportHistogramParallel is SupportHistogram with a worker pool:
@@ -195,22 +229,50 @@ func SupportHistogramParallel(v *dataset.Vertical, k, minSupport, workers int) [
 	if workers > n {
 		workers = n
 	}
-	hists := make([][]int64, workers)
-	for w := range hists {
-		hists[w] = make([]int64, size)
-	}
+	hists := newWorkerHistograms(workers, size)
 	parallelShards(n, workers, func(w, first int) {
 		eclatKTidListSubtree(v, items, k, minSupport, first, func(_ Itemset, sup int) {
 			hists[w][sup]++
 		})
 	})
-	out := hists[0]
-	for _, h := range hists[1:] {
-		for s, c := range h {
-			out[s] += c
-		}
+	return mergeWorkerHistograms(hists)
+}
+
+// supportHistogramBitsetParallel is SupportHistogramParallel with the dense
+// bitset kernels forced, for Algorithm = EclatBits callers: per-worker
+// histograms over the sharded bitset subtrees, merged by addition. The
+// histogram is identical to every other miner's; only the intersection
+// representation differs. k = 1 falls back to the generic path (no
+// intersections happen at size one).
+func supportHistogramBitsetParallel(v *dataset.Vertical, k, minSupport, workers int) []int64 {
+	if k < 1 || minSupport < 1 {
+		panic("mining: SupportHistogram requires k >= 1 and minSupport >= 1")
 	}
-	return out
+	if k == 1 {
+		return SupportHistogram(v, k, minSupport)
+	}
+	workers = ResolveWorkers(workers)
+	size := v.MaxItemSupport() + 1
+	items := frequentItems(v, minSupport)
+	if len(items) < k {
+		return make([]int64, size)
+	}
+	n := len(items) - k + 1
+	if workers > n {
+		workers = n
+	}
+	cols := bitsetColumns(v, items)
+	scratch := make([][]*bitset.Bitset, workers)
+	for w := range scratch {
+		scratch[w] = newBitsetScratch(v.NumTransactions, k)
+	}
+	hists := newWorkerHistograms(workers, size)
+	parallelShards(n, workers, func(w, first int) {
+		eclatKBitsetSubtree(v, items, cols, scratch[w], k, minSupport, first, func(_ Itemset, sup int) {
+			hists[w][sup]++
+		})
+	})
+	return mergeWorkerHistograms(hists)
 }
 
 // VisitKParallel streams every k-itemset with support >= minSupport to emit

@@ -63,8 +63,8 @@ var crossAlgoCases = []struct {
 }
 
 // TestCrossAlgorithmEquivalenceAcrossWorkers mines the same datasets with
-// every algorithm at Workers 1 and 4 and asserts identical sorted result
-// sets; FP-Growth (always serial) anchors the comparison.
+// every algorithm at Workers 1, 4, and 8 and asserts identical sorted result
+// sets; serial FP-Growth anchors the comparison.
 func TestCrossAlgorithmEquivalenceAcrossWorkers(t *testing.T) {
 	for _, tc := range crossAlgoCases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -74,7 +74,7 @@ func TestCrossAlgorithmEquivalenceAcrossWorkers(t *testing.T) {
 				for _, s := range tc.sups {
 					want := FPGrowthK(d, k, s)
 					sortByItems(want)
-					for _, workers := range []int{1, 4} {
+					for _, workers := range []int{1, 4, 8} {
 						for _, algo := range []Algorithm{Apriori, EclatTids, EclatBits, FPGrowth} {
 							got, err := MineVertical(v, Options{
 								K: k, MinSupport: s, Algorithm: algo, Workers: workers,
@@ -133,6 +133,68 @@ func TestParallelMatchesSerialExactly(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFPGrowthParallelMatchesSerialExactly pins the tentpole guarantee for
+// the FP-Growth engine: sharding the header-table suffix classes across the
+// worker pool yields output bit-identical to the serial miner — values AND
+// order — at Workers 1, 4, and 8.
+func TestFPGrowthParallelMatchesSerialExactly(t *testing.T) {
+	for _, tc := range crossAlgoCases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.gen()
+			for _, k := range tc.ks {
+				for _, s := range tc.sups {
+					want := FPGrowthK(d, k, s)
+					for _, workers := range []int{1, 4, 8} {
+						if got := FPGrowthKParallel(d, k, s, workers); !reflect.DeepEqual(got, want) {
+							t.Fatalf("FPGrowthK k=%d s=%d w=%d: parallel output differs from serial", k, s, workers)
+						}
+					}
+				}
+			}
+			wantAll := FPGrowthAll(d, 5, 3)
+			if len(wantAll) == 0 {
+				t.Fatal("empty FPGrowthAll output, test is vacuous")
+			}
+			for _, workers := range []int{1, 4, 8} {
+				if got := FPGrowthAllParallel(d, 5, 3, workers); !reflect.DeepEqual(got, wantAll) {
+					t.Fatalf("FPGrowthAll w=%d: parallel output differs from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestAlgoDispatchers checks the algorithm-generic visit and histogram
+// dispatchers: every algorithm must produce the same itemset collection and
+// the exact same support histogram for every worker count.
+func TestAlgoDispatchers(t *testing.T) {
+	d := plantedDataset(71, 20, 300, 0.15, []uint32{1, 4, 9}, 5)
+	v := d.Vertical()
+	for _, k := range []int{2, 3} {
+		for _, s := range []int{5, 30} {
+			wantHist := SupportHistogram(v, k, s)
+			want := MineK(v, k, s)
+			sortByItems(want)
+			for _, algo := range []Algorithm{Auto, EclatTids, EclatBits, Apriori, FPGrowth} {
+				for _, workers := range []int{1, 4} {
+					if got := SupportHistogramAlgoParallel(v, k, s, workers, algo); !reflect.DeepEqual(got, wantHist) {
+						t.Fatalf("SupportHistogramAlgoParallel(k=%d,s=%d,%v,w=%d) differs", k, s, algo, workers)
+					}
+					var got []Result
+					VisitKAlgoParallel(v, k, s, workers, algo, func(is Itemset, sup int) {
+						got = append(got, Result{Items: is.Clone(), Support: sup})
+					})
+					sortByItems(got)
+					if !resultsEqual(got, want) {
+						t.Fatalf("VisitKAlgoParallel(k=%d,s=%d,%v,w=%d): %d results, want %d",
+							k, s, algo, workers, len(got), len(want))
+					}
+				}
+			}
+		}
 	}
 }
 

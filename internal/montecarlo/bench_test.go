@@ -3,6 +3,7 @@ package montecarlo
 import (
 	"testing"
 
+	"sigfim/internal/mining"
 	"sigfim/internal/randmodel"
 	"sigfim/internal/stats"
 )
@@ -52,7 +53,7 @@ func BenchmarkEvaluatorEval(b *testing.B) {
 	for i := range seeds {
 		seeds[i] = root.Uint64()
 	}
-	col, err := mineAll(m, seeds, 2, res.Floor, 50_000_000, 0)
+	col, err := mineAll(m, seeds, 2, res.Floor, 50_000_000, 0, mining.Auto)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -57,10 +57,15 @@ type Config struct {
 	// up to Delta goroutines each mine one replicate (replicates are
 	// embarrassingly parallel, so this level is saturated first), and only
 	// when Workers exceeds the replicate count does the surplus parallelize
-	// each individual mine through the sharded Eclat engine. Results are
+	// each individual mine through the sharded mining engine. Results are
 	// merged in replicate order and intra-mine shards replay in serial
 	// order, so the output is identical for any worker count.
 	Workers int
+	// Algorithm selects the replicate miner (mining.Auto picks Eclat with an
+	// automatic physical layout; mining.FPGrowth and mining.Apriori force
+	// those engines). Every algorithm mines the same itemsets, and for a
+	// fixed algorithm the result is identical for any worker count.
+	Algorithm mining.Algorithm
 }
 
 func (c Config) withDefaults() Config {
@@ -253,7 +258,7 @@ func FindPoissonThreshold(m randmodel.Model, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("montecarlo: exceeded %d s-tilde halvings", cfg.MaxHalvings)
 		}
 		floor := floorOf(sTilde)
-		col, err := mineAll(m, seeds, cfg.K, floor, cfg.MaxEntries, cfg.Workers)
+		col, err := mineAll(m, seeds, cfg.K, floor, cfg.MaxEntries, cfg.Workers, cfg.Algorithm)
 		if err != nil {
 			return nil, err
 		}
@@ -407,7 +412,7 @@ type repOutput struct {
 // seed); the merge consumes results strictly in replicate order, so the
 // collection — including the prune schedule — is identical for any worker
 // count.
-func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers int) (*collection, error) {
+func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers int, algo mining.Algorithm) (*collection, error) {
 	col := &collection{index: make(map[string]int), pruneFloor: floor}
 	softCap := softCapFor(len(seeds))
 	if workers <= 0 {
@@ -443,7 +448,7 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 				v := m.Generate(stats.NewRNG(seeds[rep]))
 				var out repOutput
 				mineFloor := int(minFloor.Load())
-				mining.VisitKParallel(v, k, mineFloor, intra, func(items mining.Itemset, sup int) {
+				mining.VisitKAlgoParallel(v, k, mineFloor, intra, algo, func(items mining.Itemset, sup int) {
 					out.keys = append(out.keys, items.Key())
 					out.sups = append(out.sups, int32(sup))
 				})

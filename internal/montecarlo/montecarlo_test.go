@@ -64,6 +64,35 @@ func TestFindThresholdDeterministicBySeed(t *testing.T) {
 	}
 }
 
+// TestFindThresholdAlgorithmAgreement runs Algorithm 1 with every replicate
+// miner: the mined union set W is algorithm-independent, so SMin, the floor,
+// and the itemset count must agree exactly — and, for a fixed algorithm, be
+// identical across worker counts.
+func TestFindThresholdAlgorithmAgreement(t *testing.T) {
+	m := uniformModel(25, 250, 0.1)
+	base := Config{K: 2, Delta: 120, Epsilon: 0.01, Seed: 7, Workers: 1}
+	ref, err := FindPoissonThreshold(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mining.Algorithm{mining.EclatTids, mining.Apriori, mining.FPGrowth} {
+		for _, workers := range []int{1, 4} {
+			cfg := base
+			cfg.Algorithm = algo
+			cfg.Workers = workers
+			res, err := FindPoissonThreshold(m, cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", algo, workers, err)
+			}
+			if res.SMin != ref.SMin || res.Floor != ref.Floor || res.NumItemsets != ref.NumItemsets {
+				t.Fatalf("%v workers=%d: SMin/Floor/|W| = %d/%d/%d, want %d/%d/%d",
+					algo, workers, res.SMin, res.Floor, res.NumItemsets,
+					ref.SMin, ref.Floor, ref.NumItemsets)
+			}
+		}
+	}
+}
+
 func TestSMinNearAnalytic(t *testing.T) {
 	// In the uniform regime the Monte Carlo ŝ_min should land near the
 	// analytic exact-bound threshold (which optimizes eps, not eps/4; the

@@ -26,6 +26,58 @@ func plantedTransactions(seed uint64, n, t int, p float64) [][]uint32 {
 	return tx
 }
 
+// TestFPGrowthGoldenWorkerIdentity pins the FP-Growth acceptance criterion on
+// the committed golden fixture: mining with -algo fpgrowth is bit-identical —
+// values and order — for Workers 1, 2, 4, and 8, and the full Significant
+// pipeline driven by FP-Growth agrees with the default Eclat-driven pipeline.
+func TestFPGrowthGoldenWorkerIdentity(t *testing.T) {
+	d, err := OpenFIMI("testdata/golden_input.dat")
+	if err != nil {
+		t.Fatalf("open golden fixture: %v", err)
+	}
+
+	serial, err := d.Mine(MineOptions{MinSupport: 5, MaxLen: 3, Algorithm: AlgoFPGrowth, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty FP-Growth output on golden fixture; test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := d.Mine(MineOptions{MinSupport: 5, MaxLen: 3, Algorithm: AlgoFPGrowth, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("fpgrowth workers=%d: output differs from serial", workers)
+		}
+	}
+
+	cfg := goldenConfig()
+	cfg.Algorithm = AlgoFPGrowth
+	cfg.Workers = 1
+	rep1, err := d.Significant(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	rep8, err := d.Significant(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep8) {
+		t.Fatalf("fpgrowth Significant differs between workers=1 and workers=8:\n%+v\nvs\n%+v", rep1, rep8)
+	}
+	def, err := d.Significant(2, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.SMin != def.SMin || rep1.SStar != def.SStar || rep1.NumSignificant != def.NumSignificant {
+		t.Fatalf("fpgrowth pipeline (s_min=%d, s*=%d, Q=%d) disagrees with default (s_min=%d, s*=%d, Q=%d)",
+			rep1.SMin, rep1.SStar, rep1.NumSignificant, def.SMin, def.SStar, def.NumSignificant)
+	}
+}
+
 // TestWorkerCountDeterminism pins the engine's central guarantee: for a fixed
 // seed, FindSMin and Significant return identical reports at Workers=1 and
 // Workers=8. Per-goroutine RNGs are derived from per-replicate seeds and all

@@ -154,16 +154,28 @@ func GenerateRandom(p Profile, seed uint64) *Dataset {
 
 // Pattern is a mined itemset with its support.
 type Pattern struct {
-	Items   []uint32
+	// Items is the itemset, sorted ascending by item id.
+	Items []uint32
+	// Support counts the transactions containing every item of Items.
 	Support int
 }
 
-// Algorithm names accepted by MineOptions.
+// Algorithm names accepted by MineOptions.Algorithm and Config.Algorithm.
+// Every algorithm mines exactly the same itemsets; the choice affects
+// performance only.
 const (
-	AlgoAuto     = "auto"
-	AlgoEclat    = "eclat"
+	// AlgoAuto picks Eclat with an automatically chosen physical layout
+	// (tid lists on sparse data, dense bitsets otherwise).
+	AlgoAuto = "auto"
+	// AlgoEclat forces vertical depth-first mining over sorted tid lists.
+	AlgoEclat = "eclat"
+	// AlgoEclatBit forces vertical mining over dense bitsets.
 	AlgoEclatBit = "eclat-bits"
-	AlgoApriori  = "apriori"
+	// AlgoApriori forces level-wise horizontal mining with a candidate
+	// prefix trie.
+	AlgoApriori = "apriori"
+	// AlgoFPGrowth forces FP-tree mining with parallel sharded conditional
+	// trees.
 	AlgoFPGrowth = "fpgrowth"
 )
 
@@ -186,27 +198,33 @@ type MineOptions struct {
 
 // Mine runs classical frequent itemset mining.
 func (ds *Dataset) Mine(opts MineOptions) ([]Pattern, error) {
-	algo := mining.Auto
-	switch opts.Algorithm {
-	case "", AlgoAuto:
-	case AlgoEclat:
-		algo = mining.EclatTids
-	case AlgoEclatBit:
-		algo = mining.EclatBits
-	case AlgoApriori:
-		algo = mining.Apriori
-	case AlgoFPGrowth:
-		algo = mining.FPGrowth
-	default:
+	algo, err := mining.ParseAlgorithm(opts.Algorithm)
+	if err != nil {
 		return nil, fmt.Errorf("sigfim: unknown algorithm %q", opts.Algorithm)
 	}
-	rs, err := mining.MineVertical(ds.vertical(), mining.Options{
+	return ds.mineParsed(algo, opts)
+}
+
+// mineParsed is Mine after algorithm-name resolution; internal callers that
+// already hold a parsed mining.Algorithm use it directly. Horizontal
+// algorithms mine the wrapper's horizontal dataset as-is instead of
+// round-tripping it through the vertical index.
+func (ds *Dataset) mineParsed(algo mining.Algorithm, opts MineOptions) ([]Pattern, error) {
+	mopts := mining.Options{
 		K:          opts.K,
 		MinSupport: opts.MinSupport,
 		MaxLen:     opts.MaxLen,
 		Algorithm:  algo,
 		Workers:    opts.Workers,
-	})
+	}
+	var rs []mining.Result
+	var err error
+	switch algo {
+	case mining.Apriori, mining.FPGrowth:
+		rs, err = mining.Mine(ds.d, mopts)
+	default:
+		rs, err = mining.MineVertical(ds.vertical(), mopts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sigfim/internal/core"
+	"sigfim/internal/mining"
 	"sigfim/internal/montecarlo"
 	"sigfim/internal/randmodel"
 )
@@ -39,9 +40,14 @@ type Config struct {
 	// 0 uses every CPU, 1 forces serial execution. For a fixed Seed the
 	// report is identical for every worker count.
 	Workers int
+	// Algorithm selects the frequent-itemset miner used by every mining
+	// stage (one of the Algo* constants; "" = auto, which picks Eclat with
+	// an automatic physical layout). All algorithms mine identical itemsets,
+	// so the choice affects performance only.
+	Algorithm string
 }
 
-func (c *Config) withDefaults() core.Options {
+func (c *Config) withDefaults() (core.Options, error) {
 	o := core.Options{}
 	if c != nil {
 		o.Alpha = c.Alpha
@@ -51,8 +57,13 @@ func (c *Config) withDefaults() core.Options {
 		o.Seed = c.Seed
 		o.RunProcedure1 = c.WithBaseline
 		o.Workers = c.Workers
+		algo, err := mining.ParseAlgorithm(c.Algorithm)
+		if err != nil {
+			return o, fmt.Errorf("sigfim: unknown algorithm %q", c.Algorithm)
+		}
+		o.Algorithm = algo
 	}
-	return o
+	return o, nil
 }
 
 // LadderStep reports one comparison of the support-threshold ladder.
@@ -108,7 +119,10 @@ type Report struct {
 // Significant runs the full methodology for k-itemsets: Algorithm 1 to find
 // the Poisson regime, then Procedure 2 to select s* with the FDR guarantee.
 func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
-	opts := cfg.withDefaults()
+	opts, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if cfg != nil && cfg.SwapNull {
 		opts.NullModel = randmodel.SwapModel{Base: ds.d}
 	}
@@ -136,7 +150,7 @@ func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
 			maxPat = cfg.MaxPatterns
 		}
 		if rep.NumSignificant <= int64(maxPat) {
-			ps, err := ds.Mine(MineOptions{K: k, MinSupport: rep.SStar, Workers: opts.Workers})
+			ps, err := ds.mineParsed(opts.Algorithm, MineOptions{K: k, MinSupport: rep.SStar, Workers: opts.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -162,24 +176,23 @@ func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
 // FindSMin runs Algorithm 1 alone against the dataset's null model and
 // returns the estimated Poisson threshold ŝ_min for size-k itemsets.
 func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
-	var delta, workers int
-	var eps float64
-	var seed uint64
-	if cfg != nil {
-		delta, eps, seed, workers = cfg.Delta, cfg.Epsilon, cfg.Seed, cfg.Workers
+	opts, err := cfg.withDefaults()
+	if err != nil {
+		return 0, err
 	}
-	if delta == 0 {
-		delta = 1000
+	if opts.Delta == 0 {
+		opts.Delta = 1000
 	}
-	if eps == 0 {
-		eps = 0.01
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.01
 	}
 	m := randmodel.IndependentModel{
 		T:     ds.d.NumTransactions(),
 		Freqs: ds.d.Frequencies(),
 	}
 	res, err := montecarlo.FindPoissonThreshold(m, montecarlo.Config{
-		K: k, Delta: delta, Epsilon: eps, Seed: seed, Workers: workers,
+		K: k, Delta: opts.Delta, Epsilon: opts.Epsilon, Seed: opts.Seed,
+		Workers: opts.Workers, Algorithm: opts.Algorithm,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("sigfim: %w", err)

@@ -113,4 +113,29 @@
 // serial order exactly), and each Monte Carlo replicate derives its RNG
 // from its own per-replicate seed, so scheduling never influences random
 // streams.
+//
+// # Performance: the allocation-free replicate engine
+//
+// FindSMin's Monte Carlo estimate mines Delta random replicates per
+// s-tilde-halving, making generate-mine-merge the hot loop of the whole
+// package. That loop reuses all of its storage in steady state:
+//
+//   - Generation: models implementing randmodel.InPlaceGenerator refill a
+//     per-worker vertical dataset in place, reusing the per-item column
+//     arrays across replicates; the consumed random stream is identical to
+//     fresh generation, so results cannot differ.
+//   - Mining: every kernel (Eclat over tid lists or bitsets, FP-Growth,
+//     Apriori's horizontal conversion, the low-threshold hash path) threads
+//     a reusable per-worker mining.Scratch carrying its DFS buffers, dense
+//     columns, tree arenas, and tables. A Scratch is single-goroutine but
+//     reusable across calls and dataset shapes; a worker's second replicate
+//     allocates nothing.
+//   - Collection: the union set W is indexed by a string-free
+//     open-addressing table over the packed item tuples
+//     (mining.ItemsetTable) instead of a map keyed by per-itemset strings,
+//     and replicate outputs travel in flat recycled arrays.
+//
+// BENCH_montecarlo.json records the measured effect (about 30-400x fewer
+// allocations per mineAll, with end-to-end speedups where the merge
+// dominated) and the commands to regenerate the numbers.
 package sigfim

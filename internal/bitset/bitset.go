@@ -64,6 +64,26 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// Reinit resizes b to capacity n with all bits clear, reusing the word
+// backing array whenever it is large enough. It is the reuse counterpart of
+// New: pooled callers (the Monte Carlo replicate engine's mining scratch)
+// Reinit per replicate instead of allocating fresh bitsets.
+func (b *Bitset) Reinit(n int) {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	need := (n + wordBits - 1) / wordBits
+	if cap(b.words) < need {
+		b.words = make([]uint64, need)
+	} else {
+		b.words = b.words[:need]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
 // And stores x AND y into b (capacities must match).
 func (b *Bitset) And(x, y *Bitset) {
 	if x.n != y.n || b.n != x.n {

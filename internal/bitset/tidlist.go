@@ -95,6 +95,30 @@ func Intersect(x, y TidList) TidList {
 	return out
 }
 
+// IntersectTo appends x ∩ y to dst (normally passed with length zero and
+// retained capacity) and returns the extended slice. dst must not alias x or
+// y. DFS miners keep one such buffer per depth, so a whole mine runs without
+// per-node list allocations once the buffers have grown.
+func IntersectTo(dst, x, y TidList) TidList {
+	if len(x) > len(y) {
+		x, y = y, x
+	}
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			dst = append(dst, x[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
 // IntersectInto intersects dst with y in place (dst must be sorted) and
 // returns the shortened dst. Reuses dst's backing array, so DFS miners can
 // maintain a stack of prefix intersections without allocation churn.
@@ -119,6 +143,15 @@ func IntersectInto(dst, y TidList) TidList {
 // ToBitset converts the list into a Bitset of capacity n.
 func (t TidList) ToBitset(n int) *Bitset {
 	return FromSlice(n, t)
+}
+
+// ToBitsetInto reinitializes b to capacity n and sets the list's bits,
+// reusing b's backing storage when possible.
+func (t TidList) ToBitsetInto(n int, b *Bitset) {
+	b.Reinit(n)
+	for _, tid := range t {
+		b.Set(int(tid))
+	}
 }
 
 // Contains reports whether tid is present (binary search).

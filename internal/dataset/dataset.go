@@ -15,11 +15,15 @@ import (
 	"sigfim/internal/bitset"
 )
 
-// Dataset is an immutable transactional dataset in horizontal layout.
+// Dataset is a transactional dataset in horizontal layout. It is immutable
+// through its exported API; HorizontalInto may rebuild one in place as a
+// pooled conversion target.
 type Dataset struct {
 	numItems int
 	tx       [][]uint32
-	supports []int // lazily computed item supports
+	supports []int    // lazily computed item supports
+	arena    []uint32 // flat item storage backing tx when built by HorizontalInto
+	lens     []int    // per-transaction length scratch for HorizontalInto
 }
 
 // New builds a Dataset over numItems items from the given transactions.

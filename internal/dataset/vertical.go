@@ -34,6 +34,24 @@ func NewVertical(numTransactions int, tids []bitset.TidList) (*Vertical, error) 
 // NumItems returns the item universe size.
 func (v *Vertical) NumItems() int { return len(v.Tids) }
 
+// Reuse reshapes v to numTransactions transactions over numItems items with
+// every tid list empty, preserving the per-item backing arrays so generators
+// can refill the columns without reallocating. The Monte Carlo replicate
+// engine calls this once per replicate on a per-worker Vertical.
+func (v *Vertical) Reuse(numTransactions, numItems int) {
+	v.NumTransactions = numTransactions
+	if cap(v.Tids) < numItems {
+		tids := make([]bitset.TidList, numItems)
+		copy(tids, v.Tids)
+		v.Tids = tids
+	} else {
+		v.Tids = v.Tids[:numItems]
+	}
+	for i := range v.Tids {
+		v.Tids[i] = v.Tids[i][:0]
+	}
+}
+
 // ItemSupport returns n(i) for one item.
 func (v *Vertical) ItemSupport(item uint32) int { return len(v.Tids[item]) }
 
@@ -121,21 +139,61 @@ func (v *Vertical) TidListOf(itemset []uint32) bitset.TidList {
 
 // Horizontal converts back to transaction-major layout.
 func (v *Vertical) Horizontal() *Dataset {
-	lens := make([]int, v.NumTransactions)
-	for _, l := range v.Tids {
-		for _, tid := range l {
-			lens[tid]++
+	d := &Dataset{}
+	v.HorizontalInto(d)
+	return d
+}
+
+// HorizontalInto rebuilds the transaction-major layout into d, reusing d's
+// transaction headers, item arena, and support cache. Horizontal miners in
+// the Monte Carlo replicate loop (Apriori, FP-Growth) convert every
+// replicate; pooling the conversion target removes one full dataset copy of
+// allocation per replicate. d must not be in use by a previous conversion.
+func (v *Vertical) HorizontalInto(d *Dataset) {
+	t := v.NumTransactions
+	d.numItems = len(v.Tids)
+	if cap(d.supports) < len(v.Tids) {
+		d.supports = make([]int, len(v.Tids))
+	} else {
+		d.supports = d.supports[:len(v.Tids)]
+	}
+	total := 0
+	for i, l := range v.Tids {
+		d.supports[i] = len(l)
+		total += len(l)
+	}
+	if cap(d.lens) < t {
+		d.lens = make([]int, t)
+	} else {
+		d.lens = d.lens[:t]
+		for i := range d.lens {
+			d.lens[i] = 0
 		}
 	}
-	tx := make([][]uint32, v.NumTransactions)
-	for tid, n := range lens {
-		tx[tid] = make([]uint32, 0, n)
+	for _, l := range v.Tids {
+		for _, tid := range l {
+			d.lens[tid]++
+		}
+	}
+	if cap(d.arena) < total {
+		d.arena = make([]uint32, total)
+	} else {
+		d.arena = d.arena[:total]
+	}
+	if cap(d.tx) < t {
+		d.tx = make([][]uint32, t)
+	} else {
+		d.tx = d.tx[:t]
+	}
+	off := 0
+	for tid := 0; tid < t; tid++ {
+		d.tx[tid] = d.arena[off : off : off+d.lens[tid]]
+		off += d.lens[tid]
 	}
 	// Visiting items in ascending order keeps each transaction sorted.
 	for item, l := range v.Tids {
 		for _, tid := range l {
-			tx[tid] = append(tx[tid], uint32(item))
+			d.tx[tid] = append(d.tx[tid], uint32(item))
 		}
 	}
-	return &Dataset{numItems: len(v.Tids), tx: tx}
 }

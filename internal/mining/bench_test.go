@@ -56,6 +56,7 @@ func sparseDataset(b *testing.B) *dataset.Dataset {
 
 func BenchmarkEclatTidListK2(b *testing.B) {
 	v := benchDataset(b).Vertical()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EclatKTidList(v, 2, 200)
@@ -64,6 +65,7 @@ func BenchmarkEclatTidListK2(b *testing.B) {
 
 func BenchmarkEclatBitsetK2(b *testing.B) {
 	v := benchDataset(b).Vertical()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EclatKBitset(v, 2, 200)
@@ -72,6 +74,7 @@ func BenchmarkEclatBitsetK2(b *testing.B) {
 
 func BenchmarkAprioriK2(b *testing.B) {
 	d := benchDataset(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		AprioriK(d, 2, 200)
@@ -80,6 +83,7 @@ func BenchmarkAprioriK2(b *testing.B) {
 
 func BenchmarkFPGrowthK2(b *testing.B) {
 	d := benchDataset(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		FPGrowthK(d, 2, 200)
@@ -88,6 +92,7 @@ func BenchmarkFPGrowthK2(b *testing.B) {
 
 func BenchmarkEclatTidListK3(b *testing.B) {
 	v := benchDataset(b).Vertical()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EclatKTidList(v, 3, 60)
@@ -96,6 +101,7 @@ func BenchmarkEclatTidListK3(b *testing.B) {
 
 func BenchmarkEclatBitsetK3(b *testing.B) {
 	v := benchDataset(b).Vertical()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EclatKBitset(v, 3, 60)
@@ -109,6 +115,7 @@ func BenchmarkLowThresholdHashPath(b *testing.B) {
 	if !useHashPath(v, 3, 1) {
 		b.Fatal("expected hash path to be selected")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
@@ -118,10 +125,11 @@ func BenchmarkLowThresholdHashPath(b *testing.B) {
 
 func BenchmarkLowThresholdEclat(b *testing.B) {
 	v := sparseDataset(b).Vertical()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		eclatKTidList(v, 3, 1, func(Itemset, int) { n++ })
+		eclatKTidList(v, 3, 1, nil, func(Itemset, int) { n++ })
 	}
 }
 
@@ -193,6 +201,7 @@ func BenchmarkCountVsMaterialize(b *testing.B) {
 
 func BenchmarkSupportHistogram(b *testing.B) {
 	v := benchDataset(b).Vertical()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		SupportHistogram(v, 2, 50)
@@ -201,6 +210,7 @@ func BenchmarkSupportHistogram(b *testing.B) {
 
 func BenchmarkClosedEnumeration(b *testing.B) {
 	v := benchDataset(b).Vertical()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0

@@ -12,11 +12,25 @@ import (
 // bitset) of its prefix, refined by intersection as the search descends.
 // Fixed-size-k mining prunes the tree at depth k, which is what the paper's
 // procedures need (they mine k-itemsets for one k at a time).
+//
+// Every kernel threads a *Scratch carrying its mutable buffers (per-depth
+// intersection storage, prefix and sort stacks, pooled dense columns), so a
+// reused Scratch makes repeated mines — the Monte Carlo replicate loop —
+// allocation-free in steady state.
 
 // eclatDensityThreshold selects the bitset representation when average item
 // support exceeds this fraction of t (dense columns intersect faster as
 // words), and tid lists otherwise.
 const eclatDensityThreshold = 1.0 / 16
+
+// ensureScratch returns s, or a fresh Scratch when s is nil (the un-pooled
+// entry points).
+func ensureScratch(s *Scratch) *Scratch {
+	if s == nil {
+		return NewScratch()
+	}
+	return s
+}
 
 // EclatK mines all k-itemsets with support >= minSupport, choosing the
 // physical representation automatically.
@@ -48,9 +62,19 @@ func dense(v *dataset.Vertical, minSupport int) bool {
 
 // frequentItems returns items with support >= minSupport sorted by ascending
 // support (the standard Eclat ordering: least frequent first shrinks
-// intersections early).
+// intersections early), allocated at exactly the needed capacity.
 func frequentItems(v *dataset.Vertical, minSupport int) []uint32 {
-	items := make([]uint32, 0)
+	n := 0
+	for _, l := range v.Tids {
+		if len(l) >= minSupport {
+			n++
+		}
+	}
+	return frequentItemsInto(make([]uint32, 0, n), v, minSupport)
+}
+
+// frequentItemsInto is frequentItems appending into a reused buffer.
+func frequentItemsInto(items []uint32, v *dataset.Vertical, minSupport int) []uint32 {
 	for it, l := range v.Tids {
 		if len(l) >= minSupport {
 			items = append(items, uint32(it))
@@ -69,7 +93,7 @@ func frequentItems(v *dataset.Vertical, minSupport int) []uint32 {
 // EclatKTidList is EclatK with sorted tid-list intersections.
 func EclatKTidList(v *dataset.Vertical, k, minSupport int) []Result {
 	var out []Result
-	eclatKTidList(v, k, minSupport, func(items Itemset, support int) {
+	eclatKTidList(v, k, minSupport, nil, func(items Itemset, support int) {
 		out = append(out, Result{Items: items.Clone(), Support: support})
 	})
 	return out
@@ -77,16 +101,18 @@ func EclatKTidList(v *dataset.Vertical, k, minSupport int) []Result {
 
 // eclatKTidList runs the DFS, invoking emit for every size-k itemset found.
 // emit receives a scratch slice valid only during the call.
-func eclatKTidList(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) {
+func eclatKTidList(v *dataset.Vertical, k, minSupport int, s *Scratch, emit func(Itemset, int)) {
 	if k <= 0 || minSupport < 1 {
 		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
 	}
-	items := frequentItems(v, minSupport)
-	if len(items) < k {
+	s = ensureScratch(s)
+	s.items = frequentItemsInto(s.items[:0], v, minSupport)
+	if len(s.items) < k {
 		return
 	}
+	items := s.items
 	for first := 0; first <= len(items)-k; first++ {
-		eclatKTidListSubtree(v, items, k, minSupport, first, emit)
+		eclatKTidListSubtree(v, items, k, minSupport, first, s, emit)
 	}
 }
 
@@ -95,30 +121,31 @@ func eclatKTidList(v *dataset.Vertical, k, minSupport int, emit func(Itemset, in
 // items[first]. The subtrees for first = 0..len(items)-k partition the full
 // search space, which is the unit of work the parallel driver shards; visiting
 // them in ascending first reproduces the serial DFS emission order exactly.
-func eclatKTidListSubtree(v *dataset.Vertical, items []uint32, k, minSupport, first int, emit func(Itemset, int)) {
+func eclatKTidListSubtree(v *dataset.Vertical, items []uint32, k, minSupport, first int, s *Scratch, emit func(Itemset, int)) {
 	it := items[first]
 	base := v.Tids[it]
 	if len(base) < minSupport {
 		return
 	}
-	prefix := make(Itemset, 1, k)
-	prefix[0] = it
+	s.ensureDepth(k)
+	prefix := append(s.prefix[:0], it)
 	if k == 1 {
-		emitSorted(prefix, len(base), emit)
+		s.emitSortedScratch(prefix, len(base), emit)
 		return
 	}
 	var rec func(start int, tids bitset.TidList)
 	rec = func(start int, tids bitset.TidList) {
 		depth := len(prefix)
 		for i := start; i <= len(items)-(k-depth); i++ {
-			next := bitset.Intersect(tids, v.Tids[items[i]])
+			next := bitset.IntersectTo(s.tidBufs[depth][:0], tids, v.Tids[items[i]])
+			s.tidBufs[depth] = next
 			sup := len(next)
 			if sup < minSupport {
 				continue
 			}
 			prefix = append(prefix, items[i])
 			if depth+1 == k {
-				emitSorted(prefix, sup, emit)
+				s.emitSortedScratch(prefix, sup, emit)
 			} else {
 				rec(i+1, next)
 			}
@@ -128,90 +155,77 @@ func eclatKTidListSubtree(v *dataset.Vertical, items []uint32, k, minSupport, fi
 	rec(first+1, base)
 }
 
-// emitSorted hands emit a sorted view of the prefix (items were visited in
-// support order, not id order).
+// emitSorted hands emit a freshly allocated, id-sorted copy of the prefix
+// (items were visited in support order, not id order); the callee owns it.
+// The all-sizes miners use it because their collectors retain the slice.
 func emitSorted(prefix Itemset, sup int, emit func(Itemset, int)) {
 	tmp := prefix.Clone()
-	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	sortSmall(tmp)
 	emit(tmp, sup)
 }
 
 // EclatKBitset is EclatK with dense bitset intersections.
 func EclatKBitset(v *dataset.Vertical, k, minSupport int) []Result {
 	var out []Result
-	eclatKBitset(v, k, minSupport, func(items Itemset, support int) {
+	eclatKBitset(v, k, minSupport, nil, func(items Itemset, support int) {
 		out = append(out, Result{Items: items.Clone(), Support: support})
 	})
 	return out
 }
 
-func eclatKBitset(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) {
+// eclatKBitset runs the dense-bitset DFS, invoking emit for every size-k
+// itemset found. emit receives a scratch slice valid only during the call.
+func eclatKBitset(v *dataset.Vertical, k, minSupport int, s *Scratch, emit func(Itemset, int)) {
 	if k <= 0 || minSupport < 1 {
 		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
 	}
-	items := frequentItems(v, minSupport)
-	if len(items) < k {
+	s = ensureScratch(s)
+	s.items = frequentItemsInto(s.items[:0], v, minSupport)
+	if len(s.items) < k {
 		return
 	}
-	cols := bitsetColumns(v, items)
-	scratch := newBitsetScratch(v.NumTransactions, k)
+	items := s.items
+	cols := s.columns(v, items)
+	s.ensureBits(v.NumTransactions, k)
 	for first := 0; first <= len(items)-k; first++ {
-		eclatKBitsetSubtree(v, items, cols, scratch, k, minSupport, first, emit)
+		eclatKBitsetSubtree(v, items, cols, s, k, minSupport, first, emit)
 	}
 }
 
-// bitsetColumns materializes the dense columns of the frequent items; the map
-// is read-only during the search and safe to share across workers.
-func bitsetColumns(v *dataset.Vertical, items []uint32) map[uint32]*bitset.Bitset {
-	cols := make(map[uint32]*bitset.Bitset, len(items))
-	for _, it := range items {
-		cols[it] = v.Tids[it].ToBitset(v.NumTransactions)
-	}
-	return cols
-}
-
-// newBitsetScratch allocates the per-depth intersection buffers one DFS (or
-// one worker) needs; scratch is mutable state and must not be shared.
-func newBitsetScratch(t, k int) []*bitset.Bitset {
-	scratch := make([]*bitset.Bitset, k)
-	for i := range scratch {
-		scratch[i] = bitset.New(t)
-	}
-	return scratch
-}
-
-// eclatKBitsetSubtree is eclatKTidListSubtree over dense bitset columns.
-func eclatKBitsetSubtree(v *dataset.Vertical, items []uint32, cols map[uint32]*bitset.Bitset, scratch []*bitset.Bitset, k, minSupport, first int, emit func(Itemset, int)) {
+// eclatKBitsetSubtree is eclatKTidListSubtree over dense bitset columns;
+// cols[i] is the column of items[i]. The caller must have sized s's bitset
+// scratch via ensureBits.
+func eclatKBitsetSubtree(v *dataset.Vertical, items []uint32, cols []*bitset.Bitset, s *Scratch, k, minSupport, first int, emit func(Itemset, int)) {
 	it := items[first]
 	if len(v.Tids[it]) < minSupport {
 		return
 	}
-	prefix := make(Itemset, 1, k)
-	prefix[0] = it
+	s.ensureDepth(k)
+	prefix := append(s.prefix[:0], it)
 	if k == 1 {
-		emitSorted(prefix, len(v.Tids[it]), emit)
+		s.emitSortedScratch(prefix, len(v.Tids[it]), emit)
 		return
 	}
 	var rec func(start int, acc *bitset.Bitset)
 	rec = func(start int, acc *bitset.Bitset) {
 		depth := len(prefix)
 		for i := start; i <= len(items)-(k-depth); i++ {
-			next := scratch[depth]
-			next.And(acc, cols[items[i]])
+			next := s.bits[depth]
+			next.And(acc, cols[i])
 			sup := next.Count()
 			if sup < minSupport {
 				continue
 			}
 			prefix = append(prefix, items[i])
 			if depth+1 == k {
-				emitSorted(prefix, sup, emit)
+				s.emitSortedScratch(prefix, sup, emit)
 			} else {
 				rec(i+1, next)
 			}
 			prefix = prefix[:depth]
 		}
 	}
-	rec(first+1, cols[it])
+	rec(first+1, cols[first])
 }
 
 // EclatAll mines every itemset (any size >= 1 up to maxLen; maxLen <= 0 means

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -12,64 +13,111 @@ import (
 // recursively by building conditional trees per suffix item. No candidate
 // generation; each recursion multiplies the suffix pattern.
 //
+// The trees are index-based arenas: nodes live in one flat slice per tree
+// (child/sibling/header links are indices, -1 = none), items are replaced by
+// dense ranks so header chains and per-item supports are plain slices, and
+// the conditional trees of a mining descent are pooled per recursion depth in
+// the fpScratch — so a reused Scratch rebuilds and re-mines trees replicate
+// after replicate without allocating. Child lookup walks the sibling list,
+// which beats the former per-node map: fanout is bounded by the frequent-item
+// count and shrinks rapidly with depth.
+//
 // Parallel decomposition: after the (serial-insertion) global tree build, the
-// header-table items are independent bottom-up suffix classes — mining item X
-// reads only the global tree (which is immutable once built) and private
-// conditional trees, so the classes shard across the same dynamic worker pool
-// Eclat uses, with per-suffix result buffers merged in header order. The
-// merged stream equals the serial emission stream exactly, and the final
-// lexicographic sort is deterministic (itemsets are distinct), so parallel
-// output is bit-identical to serial, including order, for every worker count.
+// header-table ranks are independent bottom-up suffix classes — mining rank r
+// reads only the global tree (immutable once built) and private conditional
+// trees, so the classes shard across the same dynamic worker pool Eclat uses.
+// Every emission path either streams into per-worker accumulators (histogram)
+// or ends in a lexicographic sort over distinct itemsets, so output is
+// bit-identical to serial, including order, for every worker count.
 
-// fpNode is one FP-tree node.
+// fpNode is one FP-tree node; all links are indices into the owning tree's
+// node arena, -1 meaning none. Node 0 is the root (rank -1).
 type fpNode struct {
-	item     uint32
-	count    int
-	parent   *fpNode
-	children map[uint32]*fpNode
-	next     *fpNode // header-table chain of nodes carrying the same item
+	rank    int32
+	count   int32
+	parent  int32
+	child   int32 // first child
+	sibling int32 // next child of the same parent
+	next    int32 // header chain of nodes carrying the same rank
 }
 
-// fpTree is an FP-tree with its header table.
+// fpTree is an FP-tree with its header table, all storage index-based and
+// reusable via reset.
 type fpTree struct {
-	root    *fpNode
-	heads   map[uint32]*fpNode // first node per item
-	tails   map[uint32]*fpNode // last node per item, for O(1) chain append
-	support map[uint32]int     // item support within this (conditional) tree
-	order   map[uint32]int     // global rank: lower rank = more frequent
+	nodes   []fpNode
+	heads   []int32 // per rank: first node in the header chain
+	tails   []int32 // per rank: last node, for O(1) chain append
+	support []int32 // per rank: support within this (conditional) tree
 }
 
-func newFPTree(order map[uint32]int) *fpTree {
-	return &fpTree{
-		root:    &fpNode{children: make(map[uint32]*fpNode)},
-		heads:   make(map[uint32]*fpNode),
-		tails:   make(map[uint32]*fpNode),
-		support: make(map[uint32]int),
-		order:   order,
+// reset empties the tree for ranks [0, numRanks), keeping capacity.
+func (t *fpTree) reset(numRanks int) {
+	t.nodes = append(t.nodes[:0], fpNode{rank: -1, count: 0, parent: -1, child: -1, sibling: -1, next: -1})
+	if cap(t.heads) < numRanks {
+		t.heads = make([]int32, numRanks)
+		t.tails = make([]int32, numRanks)
+		t.support = make([]int32, numRanks)
+	} else {
+		t.heads = t.heads[:numRanks]
+		t.tails = t.tails[:numRanks]
+		t.support = t.support[:numRanks]
+	}
+	for i := 0; i < numRanks; i++ {
+		t.heads[i] = -1
+		t.tails[i] = -1
+		t.support[i] = 0
 	}
 }
 
-// insert adds a transaction (already filtered to frequent items and sorted by
-// rank) with multiplicity count.
-func (t *fpTree) insert(items []uint32, count int) {
-	node := t.root
-	for _, it := range items {
-		child, ok := node.children[it]
-		if !ok {
-			child = &fpNode{item: it, parent: node, children: make(map[uint32]*fpNode)}
-			node.children[it] = child
-			if t.heads[it] == nil {
-				t.heads[it] = child
-				t.tails[it] = child
-			} else {
-				t.tails[it].next = child
-				t.tails[it] = child
-			}
+// insert adds a path of ranks (already filtered to frequent items and sorted
+// ascending, i.e. most frequent first) with multiplicity count.
+func (t *fpTree) insert(ranks []int32, count int32) {
+	cur := int32(0)
+	for _, rk := range ranks {
+		t.support[rk] += count
+		c := t.nodes[cur].child
+		for c >= 0 && t.nodes[c].rank != rk {
+			c = t.nodes[c].sibling
 		}
-		child.count += count
-		t.support[it] += count
-		node = child
+		if c < 0 {
+			c = int32(len(t.nodes))
+			t.nodes = append(t.nodes, fpNode{rank: rk, parent: cur, child: -1, sibling: t.nodes[cur].child, next: -1})
+			t.nodes[cur].child = c
+			if t.heads[rk] < 0 {
+				t.heads[rk] = c
+			} else {
+				t.nodes[t.tails[rk]].next = c
+			}
+			t.tails[rk] = c
+		}
+		t.nodes[c].count += count
+		cur = c
 	}
+}
+
+// fpScratch is the FP-Growth slice of a mining Scratch: the rank maps and
+// global tree of the current mine, the per-depth conditional tree pool, and
+// the pattern/path buffers of one mining descent.
+type fpScratch struct {
+	rank     []int32   // item -> rank, -1 when infrequent
+	rankItem []uint32  // rank -> item
+	global   fpTree    // the global tree of the current mine
+	cond     []*fpTree // pooled conditional trees, by recursion depth
+	pattern  []uint32  // suffix item stack of the descent
+	sortBuf  []uint32  // emit-time sort buffer
+	pathBuf  []int32   // prefix-path buffer for conditional builds
+	ranksBuf []int32   // per-transaction filter/sort buffer for builds
+	flat     []uint32  // flat pattern collection (fixed-k streaming)
+	sups     []int32   // supports parallel to flat
+	order    []int32   // sort permutation over the flat collection
+}
+
+// condTree returns the pooled conditional tree for the given recursion depth.
+func (f *fpScratch) condTree(depth int) *fpTree {
+	for len(f.cond) <= depth {
+		f.cond = append(f.cond, &fpTree{})
+	}
+	return f.cond[depth]
 }
 
 // FPGrowthAll mines every itemset of size 1..maxLen (maxLen <= 0: unbounded)
@@ -81,10 +129,10 @@ func FPGrowthAll(d *dataset.Dataset, minSupport, maxLen int) []Result {
 // FPGrowthAllParallel is FPGrowthAll with a worker pool (workers <= 0:
 // NumCPU): the support-counting scan and the per-transaction filter-and-sort
 // shard over transaction chunks, and the conditional-tree mining shards the
-// header items. Output is identical (including order) to FPGrowthAll for any
+// header ranks. Output is identical (including order) to FPGrowthAll for any
 // worker count.
 func FPGrowthAllParallel(d *dataset.Dataset, minSupport, maxLen, workers int) []Result {
-	return fpGrowthCollect(d, minSupport, maxLen, workers, 0)
+	return fpGrowthCollect(d, minSupport, maxLen, workers, 0, nil)
 }
 
 // FPGrowthK mines exactly the k-itemsets with support >= minSupport,
@@ -100,76 +148,105 @@ func FPGrowthKParallel(d *dataset.Dataset, k, minSupport, workers int) []Result 
 	if k < 1 {
 		panic("mining: FPGrowthK requires k >= 1")
 	}
-	return fpGrowthCollect(d, minSupport, k, workers, k)
+	return fpGrowthCollect(d, minSupport, k, workers, k, nil)
 }
 
-// fpGrowthCollect is the shared FP-Growth driver: it materializes the mined
-// patterns up to maxLen, keeping only those of length onlyLen when
-// onlyLen > 0, and returns them lexicographically sorted. The mine itself
-// shards the header-table suffix classes over the worker pool; the final
-// total sort over distinct itemsets makes the output independent of the
-// shard schedule, so it is bit-identical to a serial run.
-func fpGrowthCollect(d *dataset.Dataset, minSupport, maxLen, workers, onlyLen int) []Result {
-	if minSupport < 1 {
-		panic("mining: FPGrowth requires minSupport >= 1")
-	}
-	workers = ResolveWorkers(workers)
-	tree := buildFPTree(d, fpRankOrder(d, minSupport, workers), workers)
-
-	// Top-level suffix classes in serial mining order: descending rank.
-	items := fpTreeItems(tree, minSupport)
-	collect := func(out *[]Result) func(Itemset, int) {
-		return func(pattern Itemset, sup int) {
-			if onlyLen > 0 && len(pattern) != onlyLen {
-				return
-			}
-			sort.Slice(pattern, func(a, b int) bool { return pattern[a] < pattern[b] })
-			*out = append(*out, Result{Items: pattern, Support: sup})
-		}
-	}
-	var out []Result
-	if workers <= 1 || len(items) <= 1 {
-		suffix := make(Itemset, 0, 16)
-		for _, it := range items {
-			fpMineItem(tree, it, minSupport, maxLen, suffix, collect(&out))
-		}
-	} else {
-		bufs := make([][]Result, len(items))
-		parallelShards(len(items), workers, func(_, shard int) {
-			fpMineItem(tree, items[shard], minSupport, maxLen, nil, collect(&bufs[shard]))
-		})
-		out = mergeShardResults(bufs)
-	}
-	sortByItems(out)
-	return out
-}
-
-// fpRankOrder ranks the frequent items by descending support (ties by
-// ascending id) and returns the item -> rank map that fixes the FP-tree
-// shape; the support scan shards over the workers.
-func fpRankOrder(d *dataset.Dataset, minSupport, workers int) map[uint32]int {
+// fpBuild computes the rank order and builds the global FP-tree into s.fp,
+// returning the number of ranks (frequent items). The support scan and the
+// per-transaction filter/sort shard over the workers; insertion stays serial
+// in transaction order, so the tree — node counts AND header-chain order —
+// is identical to a fully serial build.
+func fpBuild(d *dataset.Dataset, minSupport, workers int, s *Scratch) int {
+	fs := &s.fp
 	supports := fpItemSupports(d, workers)
-	type itemSup struct {
-		item uint32
-		sup  int
+	if cap(fs.rank) < d.NumItems() {
+		fs.rank = make([]int32, d.NumItems())
 	}
-	var freq []itemSup
-	for it, s := range supports {
-		if s >= minSupport {
-			freq = append(freq, itemSup{uint32(it), s})
+	fs.rank = fs.rank[:d.NumItems()]
+	fs.rankItem = fs.rankItem[:0]
+	for it, sup := range supports {
+		fs.rank[it] = -1
+		if sup >= minSupport {
+			fs.rankItem = append(fs.rankItem, uint32(it))
 		}
 	}
-	sort.Slice(freq, func(i, j int) bool {
-		if freq[i].sup != freq[j].sup {
-			return freq[i].sup > freq[j].sup
+	// Rank by descending support, ties by ascending id; this fixes the tree
+	// shape exactly as the former map-based order did.
+	items := fs.rankItem
+	sort.Slice(items, func(i, j int) bool {
+		if supports[items[i]] != supports[items[j]] {
+			return supports[items[i]] > supports[items[j]]
 		}
-		return freq[i].item < freq[j].item
+		return items[i] < items[j]
 	})
-	order := make(map[uint32]int, len(freq))
-	for rank, is := range freq {
-		order[is.item] = rank
+	for rk, it := range items {
+		fs.rank[it] = int32(rk)
 	}
-	return order
+	numRanks := len(items)
+	fs.global.reset(numRanks)
+	txs := d.Transactions()
+	const chunkSize = 1024
+	numChunks := (len(txs) + chunkSize - 1) / chunkSize
+	workers = ResolveWorkers(workers)
+	if workers <= 1 || numChunks <= 1 {
+		for _, tr := range txs {
+			fs.ranksBuf = fpFilterSortRanks(fs.ranksBuf[:0], tr, fs.rank)
+			if len(fs.ranksBuf) > 0 {
+				fs.global.insert(fs.ranksBuf, 1)
+			}
+		}
+		return numRanks
+	}
+	// Producer/consumer: workers filter chunks claimed off an atomic counter
+	// while the consumer inserts finished chunks strictly in chunk order. The
+	// semaphore bounds outstanding filtered chunks (filtering outruns the
+	// serial insertion), keeping the transient footprint O(workers · chunk)
+	// instead of a near-full filtered copy of the dataset.
+	if workers > numChunks {
+		workers = numChunks
+	}
+	outputs := make([]chan [][]int32, numChunks)
+	for i := range outputs {
+		outputs[i] = make(chan [][]int32, 1)
+	}
+	sem := make(chan struct{}, 2*workers)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				sem <- struct{}{}
+				chunk := int(next.Add(1)) - 1
+				if chunk >= numChunks {
+					<-sem
+					return
+				}
+				lo := chunk * chunkSize
+				hi := lo + chunkSize
+				if hi > len(txs) {
+					hi = len(txs)
+				}
+				out := make([][]int32, hi-lo)
+				arena := make([]int32, 0, (hi-lo)*8)
+				for i, tr := range txs[lo:hi] {
+					start := len(arena)
+					arena = fpFilterSortRanks(arena, tr, fs.rank)
+					if len(arena) > start {
+						out[i] = arena[start:len(arena):len(arena)]
+					}
+				}
+				outputs[chunk] <- out
+			}
+		}()
+	}
+	for chunk := 0; chunk < numChunks; chunk++ {
+		for _, ranks := range <-outputs[chunk] {
+			if len(ranks) > 0 {
+				fs.global.insert(ranks, 1)
+			}
+		}
+		<-sem
+	}
+	return numRanks
 }
 
 // fpItemSupports counts n(i) for every item. With workers > 1 the scan
@@ -212,169 +289,212 @@ func fpItemSupports(d *dataset.Dataset, workers int) []int {
 	return out
 }
 
-// buildFPTree constructs the global FP-tree. The per-transaction filtering
-// and rank-sorting shard over transaction chunks; insertion stays serial in
-// transaction order, so the tree — node counts AND header-chain order — is
-// identical to a fully serial build.
-func buildFPTree(d *dataset.Dataset, order map[uint32]int, workers int) *fpTree {
-	tree := newFPTree(order)
-	txs := d.Transactions()
-	const chunkSize = 1024
-	numChunks := (len(txs) + chunkSize - 1) / chunkSize
-	if workers <= 1 || numChunks <= 1 {
-		scratch := make([]uint32, 0, 64)
-		for _, tr := range txs {
-			scratch = fpFilterSort(scratch[:0], tr, order)
-			if len(scratch) > 0 {
-				tree.insert(scratch, 1)
-			}
-		}
-		return tree
-	}
-	// Producer/consumer: workers filter chunks claimed off an atomic counter
-	// while the consumer inserts finished chunks strictly in chunk order. The
-	// semaphore bounds outstanding filtered chunks (filtering outruns the
-	// serial insertion), keeping the transient footprint O(workers · chunk)
-	// instead of a near-full filtered copy of the dataset.
-	if workers > numChunks {
-		workers = numChunks
-	}
-	outputs := make([]chan [][]uint32, numChunks)
-	for i := range outputs {
-		outputs[i] = make(chan [][]uint32, 1)
-	}
-	sem := make(chan struct{}, 2*workers)
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		go func() {
-			for {
-				sem <- struct{}{}
-				chunk := int(next.Add(1)) - 1
-				if chunk >= numChunks {
-					<-sem
-					return
-				}
-				lo := chunk * chunkSize
-				hi := lo + chunkSize
-				if hi > len(txs) {
-					hi = len(txs)
-				}
-				out := make([][]uint32, hi-lo)
-				arena := make([]uint32, 0, (hi-lo)*8)
-				for i, tr := range txs[lo:hi] {
-					start := len(arena)
-					arena = fpFilterSort(arena, tr, order)
-					if len(arena) > start {
-						out[i] = arena[start:len(arena):len(arena)]
-					}
-				}
-				outputs[chunk] <- out
-			}
-		}()
-	}
-	for chunk := 0; chunk < numChunks; chunk++ {
-		for _, items := range <-outputs[chunk] {
-			if len(items) > 0 {
-				tree.insert(items, 1)
-			}
-		}
-		<-sem
-	}
-	return tree
-}
-
-// fpFilterSort appends the transaction's frequent items to dst and sorts the
-// appended region by ascending rank.
-func fpFilterSort(dst []uint32, tr []uint32, order map[uint32]int) []uint32 {
+// fpFilterSortRanks appends the ranks of the transaction's frequent items to
+// dst and sorts the appended region ascending (most frequent first — the
+// insertion order the tree shape depends on).
+func fpFilterSortRanks(dst []int32, tr []uint32, rank []int32) []int32 {
 	start := len(dst)
 	for _, it := range tr {
-		if _, ok := order[it]; ok {
-			dst = append(dst, it)
+		if rk := rank[it]; rk >= 0 {
+			dst = append(dst, rk)
 		}
 	}
-	seg := dst[start:]
-	sort.Slice(seg, func(a, b int) bool { return order[seg[a]] < order[seg[b]] })
+	slices.Sort(dst[start:])
 	return dst
 }
 
-// fpTreeItems returns the tree's frequent items in mining order: descending
-// global rank (least frequent first, the traditional bottom-up visit).
-func fpTreeItems(t *fpTree, minSupport int) []uint32 {
-	items := make([]uint32, 0, len(t.support))
-	for it, s := range t.support {
-		if s >= minSupport {
-			items = append(items, it)
+// fpMineRank emits the suffix class of rank rk in tree t: the pattern
+// (current descent suffix ∪ {rank rk's item}) and, recursively, everything
+// below it via rk's conditional tree. Patterns are emitted as id-sorted
+// scratch slices valid only during the call. t is read but never mutated, so
+// distinct top-level ranks may be mined concurrently from the same tree as
+// long as each worker brings its own fpScratch for the descent state.
+func fpMineRank(t *fpTree, rk int32, depth int, ws *fpScratch, rankItem []uint32, minSupport, maxLen, onlyLen int, emit func(Itemset, int)) {
+	ws.pattern = append(ws.pattern, rankItem[rk])
+	if onlyLen == 0 || len(ws.pattern) == onlyLen {
+		buf := append(ws.sortBuf[:0], ws.pattern...)
+		ws.sortBuf = buf
+		sortSmall(buf)
+		emit(Itemset(buf), int(t.support[rk]))
+	}
+	if (maxLen <= 0 || len(ws.pattern) < maxLen) && rk > 0 {
+		// Build the conditional tree: prefix paths of every node carrying rk.
+		// Only ranks below rk can appear in a prefix (paths ascend in rank),
+		// so the conditional tree is sized rk.
+		cond := ws.condTree(depth)
+		cond.reset(int(rk))
+		for n := t.heads[rk]; n >= 0; n = t.nodes[n].next {
+			path := ws.pathBuf[:0]
+			for p := t.nodes[n].parent; p > 0; p = t.nodes[p].parent {
+				path = append(path, t.nodes[p].rank)
+			}
+			ws.pathBuf = path
+			// path is bottom-up; reverse to root-down rank order.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			if len(path) > 0 {
+				cond.insert(path, t.nodes[n].count)
+			}
+		}
+		for rk2 := rk - 1; rk2 >= 0; rk2-- {
+			if cond.support[rk2] >= int32(minSupport) {
+				fpMineRank(cond, rk2, depth+1, ws, rankItem, minSupport, maxLen, onlyLen, emit)
+			}
 		}
 	}
-	sort.Slice(items, func(a, b int) bool { return t.order[items[a]] > t.order[items[b]] })
-	return items
+	ws.pattern = ws.pattern[:len(ws.pattern)-1]
 }
 
-// fpMine emits suffix-extended patterns from the (conditional) tree.
-func fpMine(t *fpTree, minSupport, maxLen int, suffix Itemset, emit func(Itemset, int)) {
-	if maxLen > 0 && len(suffix) >= maxLen {
-		return
+// fpGrowthCollect is the shared materializing FP-Growth driver: it mines the
+// patterns up to maxLen, keeping only those of length onlyLen when
+// onlyLen > 0, and returns them lexicographically sorted (freshly allocated;
+// the caller owns them). The mine shards the top-level suffix ranks over the
+// worker pool; the final total sort over distinct itemsets makes the output
+// independent of the shard schedule, so it is bit-identical to a serial run.
+func fpGrowthCollect(d *dataset.Dataset, minSupport, maxLen, workers, onlyLen int, s *Scratch) []Result {
+	if minSupport < 1 {
+		panic("mining: FPGrowth requires minSupport >= 1")
 	}
-	for _, it := range fpTreeItems(t, minSupport) {
-		fpMineItem(t, it, minSupport, maxLen, suffix, emit)
+	s = ensureScratch(s)
+	workers = ResolveWorkers(workers)
+	numRanks := fpBuild(d, minSupport, workers, s)
+	ranks := fpMiningRanks(&s.fp, numRanks, minSupport)
+	collect := func(out *[]Result) func(Itemset, int) {
+		return func(pattern Itemset, sup int) {
+			*out = append(*out, Result{Items: pattern.Clone(), Support: sup})
+		}
 	}
+	var out []Result
+	if workers <= 1 || len(ranks) <= 1 {
+		for _, rk := range ranks {
+			fpMineRank(&s.fp.global, rk, 0, &s.fp, s.fp.rankItem, minSupport, maxLen, onlyLen, collect(&out))
+		}
+	} else {
+		workers = shardWorkers(s, len(ranks), workers)
+		bufs := make([][]Result, len(ranks))
+		parallelShards(len(ranks), workers, func(w, shard int) {
+			ws := &s.child(w).fp
+			fpMineRank(&s.fp.global, ranks[shard], 0, ws, s.fp.rankItem, minSupport, maxLen, onlyLen, collect(&bufs[shard]))
+		})
+		out = mergeShardResults(bufs)
+	}
+	sortByItems(out)
+	return out
 }
 
-// fpMineItem emits the pattern suffix ∪ {it} (freshly allocated; the callee
-// owns it) and recursively mines its conditional tree. It reads the shared
-// tree t but never mutates it, so distinct items may be mined concurrently
-// from the same tree.
-func fpMineItem(t *fpTree, it uint32, minSupport, maxLen int, suffix Itemset, emit func(Itemset, int)) {
-	pattern := append(suffix.Clone(), it)
-	emit(pattern, t.support[it])
-	if maxLen > 0 && len(pattern) >= maxLen {
-		return
-	}
-	// Build the conditional tree: prefix paths of every node carrying it.
-	cond := newFPTree(t.order)
-	for node := t.heads[it]; node != nil; node = node.next {
-		var path []uint32
-		for p := node.parent; p != nil && p.parent != nil; p = p.parent {
-			path = append(path, p.item)
-		}
-		// path is bottom-up; reverse to root-down rank order.
-		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
-			path[l], path[r] = path[r], path[l]
-		}
-		if len(path) > 0 {
-			cond.insert(path, node.count)
+// fpMiningRanks returns the tree's frequent ranks in mining order: descending
+// rank (least frequent first, the traditional bottom-up visit).
+func fpMiningRanks(fs *fpScratch, numRanks, minSupport int) []int32 {
+	ranks := make([]int32, 0, numRanks)
+	for rk := int32(numRanks) - 1; rk >= 0; rk-- {
+		if fs.global.support[rk] >= int32(minSupport) {
+			ranks = append(ranks, rk)
 		}
 	}
-	if len(cond.support) > 0 {
-		fpMine(cond, minSupport, maxLen, pattern, emit)
+	return ranks
+}
+
+// fpGrowthVisitK streams the k-itemsets with support >= minSupport to emit
+// in lexicographic order, using only scratch storage in the serial case: the
+// patterns collect into a flat stride-k buffer that is permutation-sorted
+// and replayed. emit receives a scratch slice valid only during the call.
+func fpGrowthVisitK(d *dataset.Dataset, k, minSupport, workers int, s *Scratch, emit func(Itemset, int)) {
+	if k < 1 || minSupport < 1 {
+		panic("mining: FPGrowth requires k >= 1 and minSupport >= 1")
+	}
+	s = ensureScratch(s)
+	workers = ResolveWorkers(workers)
+	numRanks := fpBuild(d, minSupport, workers, s)
+	ranks := fpMiningRanks(&s.fp, numRanks, minSupport)
+	fs := &s.fp
+	fs.flat = fs.flat[:0]
+	fs.sups = fs.sups[:0]
+	if workers <= 1 || len(ranks) <= 1 {
+		for _, rk := range ranks {
+			fpMineRank(&fs.global, rk, 0, fs, fs.rankItem, minSupport, k, k, func(items Itemset, sup int) {
+				fs.flat = append(fs.flat, items...)
+				fs.sups = append(fs.sups, int32(sup))
+			})
+		}
+	} else {
+		type shardOut struct {
+			flat []uint32
+			sups []int32
+		}
+		workers = shardWorkers(s, len(ranks), workers)
+		bufs := make([]shardOut, len(ranks))
+		parallelShards(len(ranks), workers, func(w, shard int) {
+			ws := &s.child(w).fp
+			b := &bufs[shard]
+			fpMineRank(&fs.global, ranks[shard], 0, ws, fs.rankItem, minSupport, k, k, func(items Itemset, sup int) {
+				b.flat = append(b.flat, items...)
+				b.sups = append(b.sups, int32(sup))
+			})
+		})
+		for _, b := range bufs {
+			fs.flat = append(fs.flat, b.flat...)
+			fs.sups = append(fs.sups, b.sups...)
+		}
+	}
+	// Lexicographic permutation sort over the flat collection; itemsets are
+	// distinct, so the order is total and shard-schedule independent.
+	n := len(fs.sups)
+	fs.order = fs.order[:0]
+	for i := 0; i < n; i++ {
+		fs.order = append(fs.order, int32(i))
+	}
+	flat := fs.flat
+	sort.Slice(fs.order, func(a, b int) bool {
+		x := flat[int(fs.order[a])*k : int(fs.order[a])*k+k]
+		y := flat[int(fs.order[b])*k : int(fs.order[b])*k+k]
+		for i := 0; i < k; i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return false
+	})
+	for _, id := range fs.order {
+		emit(Itemset(flat[int(id)*k:int(id)*k+k]), int(fs.sups[id]))
 	}
 }
 
 // fpGrowthSupportHistogram fills a support histogram of the k-itemsets with
 // support >= minSupport (hist[s] = count at support s, len(hist) = size)
-// without materializing any itemset: the header-item shards stream into
-// per-worker integer histograms merged by addition — order is irrelevant to
-// a histogram, so no buffers and no pattern allocations survive the mine.
-func fpGrowthSupportHistogram(d *dataset.Dataset, k, minSupport, workers, size int) []int64 {
+// without materializing any itemset: the rank shards stream into per-worker
+// integer histograms merged by addition — order is irrelevant to a
+// histogram, so no buffers and no pattern allocations survive the mine.
+func fpGrowthSupportHistogram(d *dataset.Dataset, k, minSupport, workers, size int, s *Scratch) []int64 {
 	if k < 1 || minSupport < 1 {
 		panic("mining: fpGrowthSupportHistogram requires k >= 1 and minSupport >= 1")
 	}
+	s = ensureScratch(s)
 	workers = ResolveWorkers(workers)
-	tree := buildFPTree(d, fpRankOrder(d, minSupport, workers), workers)
-	items := fpTreeItems(tree, minSupport)
-	if workers > len(items) {
-		workers = len(items)
+	numRanks := fpBuild(d, minSupport, workers, s)
+	ranks := fpMiningRanks(&s.fp, numRanks, minSupport)
+	if workers > len(ranks) {
+		workers = len(ranks)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	hists := newWorkerHistograms(workers, size)
-	parallelShards(len(items), workers, func(w, shard int) {
-		hist := hists[w]
-		fpMineItem(tree, items[shard], minSupport, k, nil, func(pattern Itemset, sup int) {
-			if len(pattern) == k {
+	if workers <= 1 {
+		hist := hists[0]
+		for _, rk := range ranks {
+			fpMineRank(&s.fp.global, rk, 0, &s.fp, s.fp.rankItem, minSupport, k, k, func(_ Itemset, sup int) {
 				hist[sup]++
-			}
+			})
+		}
+		return hists[0]
+	}
+	workers = shardWorkers(s, len(ranks), workers)
+	parallelShards(len(ranks), workers, func(w, shard int) {
+		ws := &s.child(w).fp
+		hist := hists[w]
+		fpMineRank(&s.fp.global, ranks[shard], 0, ws, s.fp.rankItem, minSupport, k, k, func(_ Itemset, sup int) {
+			hist[sup]++
 		})
 	})
 	return mergeWorkerHistograms(hists)

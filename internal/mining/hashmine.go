@@ -12,6 +12,12 @@ import (
 // so enumerating each transaction's C(len, k) subsets into a hash table is
 // dramatically cheaper. The dispatcher VisitK estimates that enumeration
 // cost from the transaction length histogram and picks the faster strategy.
+//
+// The counting table is a string-free ItemsetTable (open addressing over the
+// packed item tuples) with a parallel count array, both pooled in the
+// Scratch; emission replays the table in insertion order, which is
+// deterministic (first-occurrence order over the transaction scan), unlike
+// the Go map iteration the original implementation leaned on.
 
 // subsetBudget caps the per-transaction enumeration volume (and with it the
 // hash table size) before falling back to Eclat.
@@ -24,13 +30,30 @@ const hashPathMaxSupport = 8
 // transactionLengths recovers the per-transaction lengths from the vertical
 // layout in O(total occurrences).
 func transactionLengths(v *dataset.Vertical) []int {
-	lens := make([]int, v.NumTransactions)
+	return transactionLengthsInto(make([]int, v.NumTransactions), v)
+}
+
+// transactionLengthsInto is transactionLengths into a caller-sized buffer
+// (len must be v.NumTransactions; contents are overwritten).
+func transactionLengthsInto(lens []int, v *dataset.Vertical) []int {
+	for i := range lens {
+		lens[i] = 0
+	}
 	for _, l := range v.Tids {
 		for _, tid := range l {
 			lens[tid]++
 		}
 	}
 	return lens
+}
+
+// scratchLengths returns the pooled transaction-length buffer.
+func (s *Scratch) scratchLengths(v *dataset.Vertical) []int {
+	if cap(s.lens) < v.NumTransactions {
+		s.lens = make([]int, v.NumTransactions)
+	}
+	s.lens = s.lens[:v.NumTransactions]
+	return transactionLengthsInto(s.lens, v)
 }
 
 // subsetEnumerationCost returns sum over transactions of C(len, k), capped
@@ -63,45 +86,46 @@ func useHashPath(v *dataset.Vertical, k, minSupport int) bool {
 		return false
 	}
 	lens := transactionLengths(v)
+	return useHashPathLens(lens, k, minSupport)
+}
+
+// useHashPathLens is useHashPath against precomputed transaction lengths.
+func useHashPathLens(lens []int, k, minSupport int) bool {
+	if k < 2 || minSupport > hashPathMaxSupport {
+		return false
+	}
 	return subsetEnumerationCost(lens, k, subsetBudget) <= subsetBudget
 }
 
-// hashMineK enumerates every k-subset of every transaction, counts them in a
-// hash table, and emits those reaching minSupport. emit receives a scratch
-// itemset valid only during the call.
-func hashMineK(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) {
-	// Rebuild horizontal transactions from the vertical layout.
-	lens := transactionLengths(v)
-	tx := make([][]uint32, v.NumTransactions)
-	for tid, n := range lens {
-		if n >= k {
-			tx[tid] = make([]uint32, 0, n)
-		}
+// hashMineK enumerates every k-subset of every transaction, counts them in
+// the scratch's ItemsetTable, and emits those reaching minSupport in table
+// insertion order. emit receives a scratch itemset valid only during the
+// call.
+func hashMineK(v *dataset.Vertical, k, minSupport int, s *Scratch, emit func(Itemset, int)) {
+	// Rebuild horizontal transactions from the vertical layout, packed into
+	// the pooled conversion target (transactions shorter than k are still
+	// materialized there; they are skipped below).
+	d := s.horizontal(v)
+	if s.table == nil {
+		s.table = NewItemsetTable(k, 0)
+	} else {
+		s.table.Reset(k)
 	}
-	for item, l := range v.Tids {
-		for _, tid := range l {
-			if tx[tid] != nil {
-				tx[tid] = append(tx[tid], uint32(item))
-			}
-		}
-	}
-	counts := make(map[string]int32)
-	idx := make(Itemset, k)
-	key := make([]byte, 4*k)
-	for _, tr := range tx {
+	counts := s.counts[:0]
+	s.ensureDepth(k)
+	idx := s.prefix[:k]
+	for _, tr := range d.Transactions() {
 		if len(tr) < k {
 			continue
 		}
 		var rec func(pos, start int)
 		rec = func(pos, start int) {
 			if pos == k {
-				for i, it := range idx {
-					key[4*i] = byte(it)
-					key[4*i+1] = byte(it >> 8)
-					key[4*i+2] = byte(it >> 16)
-					key[4*i+3] = byte(it >> 24)
+				id, added := s.table.Insert(idx)
+				if added {
+					counts = append(counts, 0)
 				}
-				counts[string(key)]++
+				counts[id]++
 				return
 			}
 			for i := start; i <= len(tr)-(k-pos); i++ {
@@ -111,9 +135,10 @@ func hashMineK(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) 
 		}
 		rec(0, 0)
 	}
-	for kk, c := range counts {
-		if int(c) >= minSupport {
-			emit(KeyToItemset(kk), int(c))
+	s.counts = counts
+	for id := 0; id < s.table.Len(); id++ {
+		if int(counts[id]) >= minSupport {
+			emit(Itemset(s.table.Items(id)), int(counts[id]))
 		}
 	}
 }
@@ -122,6 +147,11 @@ func hashMineK(v *dataset.Vertical, k, minSupport int, emit func(Itemset, int)) 
 // choosing between Eclat DFS and transaction-subset enumeration by cost.
 // The itemset slice passed to emit is only valid during the call.
 func VisitK(v *dataset.Vertical, k, minSupport int, emit func(items Itemset, support int)) {
+	visitK(v, k, minSupport, nil, emit)
+}
+
+// visitK is VisitK with a threaded Scratch (nil allowed).
+func visitK(v *dataset.Vertical, k, minSupport int, s *Scratch, emit func(items Itemset, support int)) {
 	if k < 1 || minSupport < 1 {
 		panic("mining: VisitK requires k >= 1 and minSupport >= 1")
 	}
@@ -133,11 +163,14 @@ func VisitK(v *dataset.Vertical, k, minSupport int, emit func(items Itemset, sup
 		}
 		return
 	}
-	if useHashPath(v, k, minSupport) {
-		hashMineK(v, k, minSupport, emit)
-		return
+	s = ensureScratch(s)
+	if minSupport <= hashPathMaxSupport {
+		if useHashPathLens(s.scratchLengths(v), k, minSupport) {
+			hashMineK(v, k, minSupport, s, emit)
+			return
+		}
 	}
-	eclatKTidList(v, k, minSupport, emit)
+	eclatKTidList(v, k, minSupport, s, emit)
 }
 
 // MineK mines size-k itemsets with the automatic strategy choice,

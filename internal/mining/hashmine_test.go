@@ -32,11 +32,11 @@ func TestHashMineAgreesWithEclat(t *testing.T) {
 		for k := 2; k <= 4; k++ {
 			for _, minSup := range []int{1, 2, 3} {
 				want := map[string]int{}
-				eclatKTidList(v, k, minSup, func(items Itemset, sup int) {
+				eclatKTidList(v, k, minSup, nil, func(items Itemset, sup int) {
 					want[items.Key()] = sup
 				})
 				got := map[string]int{}
-				hashMineK(v, k, minSup, func(items Itemset, sup int) {
+				hashMineK(v, k, minSup, NewScratch(), func(items Itemset, sup int) {
 					got[items.Key()] = sup
 				})
 				if len(got) != len(want) {

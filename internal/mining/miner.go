@@ -140,29 +140,46 @@ func MineVertical(v *dataset.Vertical, opts Options) ([]Result, error) {
 }
 
 // VisitKAlgoParallel streams every k-itemset with support >= minSupport to
-// emit using the selected algorithm with a worker pool. Auto and EclatTids
-// stream through VisitKParallel; EclatBits, Apriori, and FP-Growth
-// materialize their result sets and replay them. emit is never called
-// concurrently, and for a fixed algorithm the emission order is identical
-// for every worker count (orders differ BETWEEN algorithms: Eclat variants
-// replay DFS order, Apriori and FP-Growth replay their lexicographically
-// sorted output).
+// emit using the selected algorithm with a worker pool. emit is never called
+// concurrently, and — for every algorithm — the itemset it receives is a
+// scratch slice valid only during the call (clone it to retain it), as with
+// VisitK. For a fixed algorithm the emission order is identical for every
+// worker count (orders differ BETWEEN algorithms: Eclat variants emit DFS
+// order, Apriori and FP-Growth emit lexicographically sorted output).
 func VisitKAlgoParallel(v *dataset.Vertical, k, minSupport, workers int, algo Algorithm, emit func(items Itemset, support int)) {
+	VisitKAlgoScratch(v, k, minSupport, workers, algo, nil, emit)
+}
+
+// VisitKAlgoScratch is VisitKAlgoParallel with a threaded Scratch (nil
+// allowed); output — values and order — is identical to VisitKAlgoParallel.
+// This is the entry point of the Monte Carlo replicate engine: with a reused
+// per-worker Scratch the serial paths of every algorithm (Eclat over tid
+// lists or bitsets, FP-Growth, the hash path) stream straight from pooled
+// buffers, so a worker's second replicate allocates nothing.
+func VisitKAlgoScratch(v *dataset.Vertical, k, minSupport, workers int, algo Algorithm, s *Scratch, emit func(items Itemset, support int)) {
+	s = ensureScratch(s)
 	switch algo {
 	case EclatBits:
-		for _, r := range EclatKBitsetParallel(v, k, minSupport, workers) {
+		if workers = ResolveWorkers(workers); workers <= 1 {
+			// Streaming the serial kernel emits the exact DFS order the
+			// sharded merge reproduces, so both branches agree bit for bit.
+			eclatKBitset(v, k, minSupport, s, emit)
+			return
+		}
+		for _, r := range eclatKBitsetParallel(v, k, minSupport, workers, s) {
 			emit(r.Items, r.Support)
 		}
 	case Apriori:
-		for _, r := range AprioriKParallel(v.Horizontal(), k, minSupport, workers) {
+		for _, r := range AprioriKParallel(s.horizontal(v), k, minSupport, workers) {
 			emit(r.Items, r.Support)
 		}
 	case FPGrowth:
-		for _, r := range FPGrowthKParallel(v.Horizontal(), k, minSupport, workers) {
-			emit(r.Items, r.Support)
-		}
+		// fpGrowthVisitK streams the lexicographically sorted patterns from
+		// the scratch's flat collection — the same values and order
+		// FPGrowthKParallel materializes, without the per-Result allocations.
+		fpGrowthVisitK(s.horizontal(v), k, minSupport, workers, s, emit)
 	default:
-		VisitKParallel(v, k, minSupport, workers, emit)
+		visitKParallel(v, k, minSupport, workers, s, emit)
 	}
 }
 
@@ -173,18 +190,26 @@ func VisitKAlgoParallel(v *dataset.Vertical, k, minSupport, workers int, algo Al
 // kernels; Apriori counts from its k-th level, which level-wise mining
 // materializes regardless.
 func SupportHistogramAlgoParallel(v *dataset.Vertical, k, minSupport, workers int, algo Algorithm) []int64 {
+	return SupportHistogramAlgoScratch(v, k, minSupport, workers, algo, nil)
+}
+
+// SupportHistogramAlgoScratch is SupportHistogramAlgoParallel with a threaded
+// Scratch (nil allowed): a reused Scratch pools the horizontal conversion,
+// the dense columns, the FP-tree arenas, and the DFS buffers across calls.
+func SupportHistogramAlgoScratch(v *dataset.Vertical, k, minSupport, workers int, algo Algorithm, s *Scratch) []int64 {
+	s = ensureScratch(s)
 	switch algo {
 	case EclatBits:
-		return supportHistogramBitsetParallel(v, k, minSupport, workers)
+		return supportHistogramBitsetParallel(v, k, minSupport, workers, s)
 	case FPGrowth:
-		return fpGrowthSupportHistogram(v.Horizontal(), k, minSupport, workers, v.MaxItemSupport()+1)
+		return fpGrowthSupportHistogram(s.horizontal(v), k, minSupport, workers, v.MaxItemSupport()+1, s)
 	case Apriori:
 		hist := make([]int64, v.MaxItemSupport()+1)
-		for _, r := range AprioriKParallel(v.Horizontal(), k, minSupport, workers) {
+		for _, r := range AprioriKParallel(s.horizontal(v), k, minSupport, workers) {
 			hist[r.Support]++
 		}
 		return hist
 	default:
-		return SupportHistogramParallel(v, k, minSupport, workers)
+		return supportHistogramParallel(v, k, minSupport, workers, s)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"sigfim/internal/bitset"
 	"sigfim/internal/dataset"
 )
 
@@ -25,6 +24,19 @@ func ResolveWorkers(w int) int {
 		return runtime.NumCPU()
 	}
 	return w
+}
+
+// shardWorkers caps the worker count at the shard count (a worker beyond that
+// would never claim work) and pre-creates the per-worker child scratches —
+// child() mutates the parent and must not be called from concurrent shards.
+func shardWorkers(s *Scratch, n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		s.child(w)
+	}
+	return workers
 }
 
 // parallelShards runs fn(worker, shard) for every shard in [0, n), spreading
@@ -77,7 +89,8 @@ func EclatKTidListParallel(v *dataset.Vertical, k, minSupport, workers int) []Re
 	if workers = ResolveWorkers(workers); workers <= 1 {
 		return EclatKTidList(v, k, minSupport)
 	}
-	items := frequentItems(v, minSupport)
+	s := NewScratch()
+	items := frequentItemsInto(s.items[:0], v, minSupport)
 	if len(items) < k {
 		return nil
 	}
@@ -85,10 +98,11 @@ func EclatKTidListParallel(v *dataset.Vertical, k, minSupport, workers int) []Re
 	if n <= 1 {
 		return EclatKTidList(v, k, minSupport)
 	}
+	workers = shardWorkers(s, n, workers)
 	bufs := make([][]Result, n)
-	parallelShards(n, workers, func(_, first int) {
+	parallelShards(n, workers, func(w, first int) {
 		bufs[first] = collectSubtree(func(emit func(Itemset, int)) {
-			eclatKTidListSubtree(v, items, k, minSupport, first, emit)
+			eclatKTidListSubtree(v, items, k, minSupport, first, s.child(w), emit)
 		})
 	})
 	return mergeShardResults(bufs)
@@ -97,13 +111,22 @@ func EclatKTidListParallel(v *dataset.Vertical, k, minSupport, workers int) []Re
 // EclatKBitsetParallel mines k-itemsets over dense bitsets with a worker
 // pool; the columns are shared read-only, intersection scratch is per worker.
 func EclatKBitsetParallel(v *dataset.Vertical, k, minSupport, workers int) []Result {
+	if workers = ResolveWorkers(workers); workers > 1 {
+		return eclatKBitsetParallel(v, k, minSupport, workers, nil)
+	}
+	return EclatKBitset(v, k, minSupport)
+}
+
+// eclatKBitsetParallel is the scratch-threaded parallel bitset miner: the
+// parent Scratch supplies the pooled dense columns (built serially, shared
+// read-only across the shards) and one child Scratch per worker carries the
+// per-depth intersection bitsets.
+func eclatKBitsetParallel(v *dataset.Vertical, k, minSupport, workers int, s *Scratch) []Result {
 	if k <= 0 || minSupport < 1 {
 		panic("mining: EclatK requires k >= 1 and minSupport >= 1")
 	}
-	if workers = ResolveWorkers(workers); workers <= 1 {
-		return EclatKBitset(v, k, minSupport)
-	}
-	items := frequentItems(v, minSupport)
+	s = ensureScratch(s)
+	items := frequentItemsInto(s.items[:0], v, minSupport)
 	if len(items) < k {
 		return nil
 	}
@@ -111,18 +134,15 @@ func EclatKBitsetParallel(v *dataset.Vertical, k, minSupport, workers int) []Res
 	if n <= 1 {
 		return EclatKBitset(v, k, minSupport)
 	}
-	if workers > n {
-		workers = n
-	}
-	cols := bitsetColumns(v, items)
-	scratch := make([][]*bitset.Bitset, workers)
-	for w := range scratch {
-		scratch[w] = newBitsetScratch(v.NumTransactions, k)
+	workers = shardWorkers(s, n, workers)
+	cols := s.columns(v, items)
+	for w := 0; w < workers; w++ {
+		s.child(w).ensureBits(v.NumTransactions, k)
 	}
 	bufs := make([][]Result, n)
 	parallelShards(n, workers, func(w, first int) {
 		bufs[first] = collectSubtree(func(emit func(Itemset, int)) {
-			eclatKBitsetSubtree(v, items, cols, scratch[w], k, minSupport, first, emit)
+			eclatKBitsetSubtree(v, items, cols, s.child(w), k, minSupport, first, emit)
 		})
 	})
 	return mergeShardResults(bufs)
@@ -160,21 +180,20 @@ func CountKParallel(v *dataset.Vertical, k, minSupport, workers int) int64 {
 	if workers <= 1 || k == 1 || useHashPath(v, k, minSupport) {
 		return CountK(v, k, minSupport)
 	}
-	items := frequentItems(v, minSupport)
+	s := NewScratch()
+	items := frequentItemsInto(s.items[:0], v, minSupport)
 	if len(items) < k {
 		return 0
 	}
 	n := len(items) - k + 1
-	if workers > n {
-		workers = n
-	}
+	workers = shardWorkers(s, n, workers)
 	counts := make([]int64, workers)
 	parallelShards(n, workers, func(w, first int) {
 		// Accumulate into a shard-local counter: counts' adjacent slots
 		// share cache lines, and incrementing them per emission would
 		// false-share across workers in the engine's hottest loop.
 		var local int64
-		eclatKTidListSubtree(v, items, k, minSupport, first, func(Itemset, int) {
+		eclatKTidListSubtree(v, items, k, minSupport, first, s.child(w), func(Itemset, int) {
 			local++
 		})
 		counts[w] += local
@@ -213,62 +232,76 @@ func mergeWorkerHistograms(hists [][]int64) []int64 {
 // per-worker histograms over the sharded eclat search, merged by integer
 // addition, so the result is exactly SupportHistogram's for any worker count.
 func SupportHistogramParallel(v *dataset.Vertical, k, minSupport, workers int) []int64 {
+	return supportHistogramParallel(v, k, minSupport, workers, nil)
+}
+
+// supportHistogramParallel is SupportHistogramParallel with a threaded
+// Scratch (nil allowed); a reused Scratch makes repeated histogram runs
+// allocation-free apart from the returned histogram itself.
+func supportHistogramParallel(v *dataset.Vertical, k, minSupport, workers int, s *Scratch) []int64 {
 	if k < 1 || minSupport < 1 {
 		panic("mining: SupportHistogram requires k >= 1 and minSupport >= 1")
 	}
+	s = ensureScratch(s)
 	workers = ResolveWorkers(workers)
-	if workers <= 1 || k == 1 || useHashPath(v, k, minSupport) {
-		return SupportHistogram(v, k, minSupport)
+	if workers <= 1 || k == 1 ||
+		(minSupport <= hashPathMaxSupport && useHashPathLens(s.scratchLengths(v), k, minSupport)) {
+		return supportHistogram(v, k, minSupport, s)
 	}
-	items := frequentItems(v, minSupport)
+	items := frequentItemsInto(s.items[:0], v, minSupport)
 	size := v.MaxItemSupport() + 1
 	if len(items) < k {
 		return make([]int64, size)
 	}
 	n := len(items) - k + 1
-	if workers > n {
-		workers = n
-	}
+	workers = shardWorkers(s, n, workers)
 	hists := newWorkerHistograms(workers, size)
 	parallelShards(n, workers, func(w, first int) {
-		eclatKTidListSubtree(v, items, k, minSupport, first, func(_ Itemset, sup int) {
+		eclatKTidListSubtree(v, items, k, minSupport, first, s.child(w), func(_ Itemset, sup int) {
 			hists[w][sup]++
 		})
 	})
 	return mergeWorkerHistograms(hists)
 }
 
-// supportHistogramBitsetParallel is SupportHistogramParallel with the dense
+// supportHistogram is the serial histogram with a threaded Scratch.
+func supportHistogram(v *dataset.Vertical, k, minSupport int, s *Scratch) []int64 {
+	hist := make([]int64, v.MaxItemSupport()+1)
+	visitK(v, k, minSupport, s, func(_ Itemset, sup int) {
+		hist[sup]++
+	})
+	return hist
+}
+
+// supportHistogramBitsetParallel is supportHistogramParallel with the dense
 // bitset kernels forced, for Algorithm = EclatBits callers: per-worker
 // histograms over the sharded bitset subtrees, merged by addition. The
 // histogram is identical to every other miner's; only the intersection
 // representation differs. k = 1 falls back to the generic path (no
 // intersections happen at size one).
-func supportHistogramBitsetParallel(v *dataset.Vertical, k, minSupport, workers int) []int64 {
+func supportHistogramBitsetParallel(v *dataset.Vertical, k, minSupport, workers int, s *Scratch) []int64 {
 	if k < 1 || minSupport < 1 {
 		panic("mining: SupportHistogram requires k >= 1 and minSupport >= 1")
 	}
+	s = ensureScratch(s)
 	if k == 1 {
-		return SupportHistogram(v, k, minSupport)
+		return supportHistogram(v, k, minSupport, s)
 	}
 	workers = ResolveWorkers(workers)
 	size := v.MaxItemSupport() + 1
-	items := frequentItems(v, minSupport)
+	items := frequentItemsInto(s.items[:0], v, minSupport)
 	if len(items) < k {
 		return make([]int64, size)
 	}
 	n := len(items) - k + 1
-	if workers > n {
-		workers = n
-	}
-	cols := bitsetColumns(v, items)
-	scratch := make([][]*bitset.Bitset, workers)
-	for w := range scratch {
-		scratch[w] = newBitsetScratch(v.NumTransactions, k)
+	workers = shardWorkers(s, n, workers)
+	cols := s.columns(v, items)
+	for w := 0; w < workers; w++ {
+		s.child(w).ensureBits(v.NumTransactions, k)
 	}
 	hists := newWorkerHistograms(workers, size)
 	parallelShards(n, workers, func(w, first int) {
-		eclatKBitsetSubtree(v, items, cols, scratch[w], k, minSupport, first, func(_ Itemset, sup int) {
+		eclatKBitsetSubtree(v, items, cols, s.child(w), k, minSupport, first, func(_ Itemset, sup int) {
 			hists[w][sup]++
 		})
 	})
@@ -282,23 +315,35 @@ func supportHistogramBitsetParallel(v *dataset.Vertical, k, minSupport, workers 
 // the duration of the call, as with VisitK. The hash-mining path and k = 1
 // stay serial (both are trivial fractions of the total work when selected).
 func VisitKParallel(v *dataset.Vertical, k, minSupport, workers int, emit func(items Itemset, support int)) {
+	visitKParallel(v, k, minSupport, workers, nil, emit)
+}
+
+// visitKParallel is VisitKParallel with a threaded Scratch (nil allowed).
+// The serial case (the Monte Carlo replicate engine's steady state) streams
+// straight through visitK and allocates nothing once the Scratch has warmed
+// up; the sharded case still materializes per-subtree buffers for the ordered
+// replay.
+func visitKParallel(v *dataset.Vertical, k, minSupport, workers int, s *Scratch, emit func(items Itemset, support int)) {
 	if k < 1 || minSupport < 1 {
 		panic("mining: VisitK requires k >= 1 and minSupport >= 1")
 	}
+	s = ensureScratch(s)
 	workers = ResolveWorkers(workers)
-	if workers <= 1 || k == 1 || useHashPath(v, k, minSupport) {
-		VisitK(v, k, minSupport, emit)
+	if workers <= 1 || k == 1 ||
+		(minSupport <= hashPathMaxSupport && useHashPathLens(s.scratchLengths(v), k, minSupport)) {
+		visitK(v, k, minSupport, s, emit)
 		return
 	}
-	items := frequentItems(v, minSupport)
+	items := frequentItemsInto(s.items[:0], v, minSupport)
 	if len(items) < k {
 		return
 	}
 	n := len(items) - k + 1
+	workers = shardWorkers(s, n, workers)
 	bufs := make([][]Result, n)
-	parallelShards(n, workers, func(_, first int) {
+	parallelShards(n, workers, func(w, first int) {
 		bufs[first] = collectSubtree(func(emit func(Itemset, int)) {
-			eclatKTidListSubtree(v, items, k, minSupport, first, emit)
+			eclatKTidListSubtree(v, items, k, minSupport, first, s.child(w), emit)
 		})
 	})
 	for i, b := range bufs {

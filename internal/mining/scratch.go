@@ -1,0 +1,114 @@
+package mining
+
+import (
+	"sigfim/internal/bitset"
+	"sigfim/internal/dataset"
+)
+
+// Scratch is the reusable per-worker mining state: frequent-item and DFS
+// prefix buffers, per-depth tid-list and bitset intersection buffers, the
+// pooled dense columns, the hash-path table, the FP-Growth node arena, and a
+// pooled horizontal conversion target. A Scratch is single-goroutine — it
+// must never be shared between concurrently mining goroutines — but it is
+// reusable across calls and across datasets of any shape: every buffer is
+// re-sized (capacity-preserving) per call, so a worker's second mine of a
+// similar dataset allocates nothing. The Monte Carlo replicate engine keeps
+// one Scratch per worker for the whole run; this is what makes the replicate
+// pipeline allocation-free in steady state.
+//
+// Kernels that shard work across an internal worker pool draw one child
+// Scratch per worker id from the parent (children are pooled too), so even
+// intra-mine parallel runs stop allocating after warmup.
+type Scratch struct {
+	items   []uint32         // frequent items, eclat support order
+	prefix  []uint32         // DFS prefix stack
+	sorted  []uint32         // emit-time sort buffer
+	lens    []int            // per-transaction lengths (hash-path dispatch)
+	tidBufs [][]uint32       // per-depth tid-list intersection buffers
+	bits    []*bitset.Bitset // per-depth bitset intersection scratch
+	cols    []*bitset.Bitset // pooled dense columns, parallel to items
+	table   *ItemsetTable    // hash-path counting table
+	counts  []int32          // hash-path counts, parallel to table entries
+	horiz   *dataset.Dataset // pooled horizontal conversion target
+	fp      fpScratch        // FP-Growth arena (trees, rank maps, buffers)
+	sub     []*Scratch       // child scratches for intra-mine worker shards
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// child returns the per-worker child Scratch for shard worker w, creating it
+// on first use and reusing it afterwards.
+func (s *Scratch) child(w int) *Scratch {
+	for len(s.sub) <= w {
+		s.sub = append(s.sub, NewScratch())
+	}
+	return s.sub[w]
+}
+
+// ensureDepth guarantees k per-depth tid-list buffers and a k-capacity prefix.
+func (s *Scratch) ensureDepth(k int) {
+	for len(s.tidBufs) < k {
+		s.tidBufs = append(s.tidBufs, nil)
+	}
+	if cap(s.prefix) < k {
+		s.prefix = make([]uint32, 0, k)
+	}
+	if cap(s.sorted) < k {
+		s.sorted = make([]uint32, 0, k)
+	}
+}
+
+// ensureBits guarantees k per-depth bitset buffers of capacity t bits.
+func (s *Scratch) ensureBits(t, k int) {
+	for len(s.bits) < k {
+		s.bits = append(s.bits, bitset.New(0))
+	}
+	for _, b := range s.bits[:k] {
+		b.Reinit(t)
+	}
+}
+
+// columns fills the pooled dense columns for the given frequent items
+// (cols[i] is the bitset of items[i]) and returns the column slice, valid
+// until the next call.
+func (s *Scratch) columns(v *dataset.Vertical, items []uint32) []*bitset.Bitset {
+	for len(s.cols) < len(items) {
+		s.cols = append(s.cols, bitset.New(0))
+	}
+	cols := s.cols[:len(items)]
+	for i, it := range items {
+		v.Tids[it].ToBitsetInto(v.NumTransactions, cols[i])
+	}
+	return cols
+}
+
+// horizontal returns the pooled transaction-major view of v, rebuilt in
+// place; valid until the next call.
+func (s *Scratch) horizontal(v *dataset.Vertical) *dataset.Dataset {
+	if s.horiz == nil {
+		s.horiz = &dataset.Dataset{}
+	}
+	v.HorizontalInto(s.horiz)
+	return s.horiz
+}
+
+// sortSmall sorts a short uint32 slice ascending by insertion sort; itemset
+// widths are tiny (k items), where this beats sort.Slice and allocates
+// nothing.
+func sortSmall(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// emitSortedScratch hands emit an id-sorted view of the prefix from the
+// scratch sort buffer; the slice is valid only during the call.
+func (s *Scratch) emitSortedScratch(prefix Itemset, sup int, emit func(Itemset, int)) {
+	buf := append(s.sorted[:0], prefix...)
+	s.sorted = buf
+	sortSmall(buf)
+	emit(buf, sup)
+}

@@ -34,6 +34,60 @@ func BenchmarkFindPoissonThresholdK3(b *testing.B) {
 	}
 }
 
+// BenchmarkFindPoissonThreshold is the end-to-end Algorithm 1 benchmark the
+// pooled replicate engine is measured by (see BENCH_montecarlo.json).
+func BenchmarkFindPoissonThreshold(b *testing.B) {
+	m := benchModelMC()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindPoissonThreshold(m, Config{K: 2, Delta: 100, Epsilon: 0.01, Seed: 1, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineAll isolates the replicate generate-mine-merge loop, the
+// hottest path of the whole system: Delta replicates generated, mined at a
+// fixed floor, and merged into the collection.
+func BenchmarkMineAll(b *testing.B) {
+	m := benchModelMC()
+	root := stats.NewRNG(1)
+	seeds := make([]uint64, 100)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	floor := floorOf(maxExpectedSupport(m, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mineAll(m, seeds, 2, floor, 50_000_000, 1, mining.Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineAllLowFloor is the merge-bound regime: k=3 at a floor of a
+// few transactions produces a union set of hundreds of itemsets with tens of
+// thousands of (itemset, replicate) entries, so the collection index — not
+// replicate generation — dominates. This is where the string-free table and
+// the pooled scratch pay off in wall clock, not just allocations.
+func BenchmarkMineAllLowFloor(b *testing.B) {
+	m := benchModelMC()
+	root := stats.NewRNG(1)
+	seeds := make([]uint64, 40)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	floor := floorOf(maxExpectedSupport(m, 3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mineAll(m, seeds, 3, floor, 50_000_000, 1, mining.Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEstimateLambda(b *testing.B) {
 	m := benchModelMC()
 	for i := 0; i < b.N; i++ {

@@ -7,6 +7,14 @@ import "math/bits"
 // replicate support >= s ("live" itemsets) contribute; the evaluator builds,
 // per live itemset, a replicate bitmask for O(Delta/64)-word joint
 // exceedance counting, and an inverted item index for overlap enumeration.
+//
+// One evaluator serves every support level searchCrossing probes, so all of
+// its working storage is pooled across evalCapped calls: the replicate masks
+// live in one flat arena sized |W| * maskWords (each itemset id owns a fixed
+// region, re-zeroed lazily when the itemset is live at the probed s), the
+// live list reuses its backing array, and the inverted index keeps its
+// per-item slices. The galloping search evaluates O(log smax) levels, so the
+// former per-call mask allocations multiplied across the whole search.
 type evaluator struct {
 	col       *collection
 	delta     int
@@ -14,6 +22,18 @@ type evaluator struct {
 	// stamp machinery for neighbor deduplication.
 	stamp   []int
 	stampID int
+	// pooled per-call storage.
+	masks []uint64         // flat mask arena: itemset id i owns masks[i*maskWords:(i+1)*maskWords]
+	lives []liveSet        // live list, rebuilt per call in place
+	inv   map[uint32][]int // item -> live indices, slices truncated and reused
+}
+
+// liveSet is one live itemset at the probed support level: its collection id,
+// exceedance probability, and replicate mask (a view into the arena).
+type liveSet struct {
+	id   int
+	p    float64
+	mask []uint64
 }
 
 func newEvaluator(col *collection, delta int) *evaluator {
@@ -21,7 +41,9 @@ func newEvaluator(col *collection, delta int) *evaluator {
 		col:       col,
 		delta:     delta,
 		maskWords: (delta + 63) / 64,
-		stamp:     make([]int, len(col.items)),
+		stamp:     make([]int, col.numItemsets()),
+		masks:     make([]uint64, col.numItemsets()*(delta+63)/64),
+		inv:       make(map[uint32][]int),
 	}
 }
 
@@ -51,36 +73,41 @@ func (ev *evaluator) eval(s int) BoundPoint {
 // "is s-tilde already below the threshold?" probe cheap.
 func (ev *evaluator) evalCapped(s int, budget float64) (bp BoundPoint, exceeded bool) {
 	col := ev.col
-	// Live itemsets and their exceedance probabilities/masks.
-	type live struct {
-		id   int
-		p    float64
-		mask []uint64
-	}
-	var lives []live
+	// Live itemsets and their exceedance probabilities/masks. Each live
+	// itemset's mask region is zeroed on first touch this call; regions of
+	// itemsets dead at this s keep stale bits, which nothing reads.
+	lives := ev.lives[:0]
 	for id, es := range col.entries {
-		var mask []uint64
+		mask := ev.masks[id*ev.maskWords : (id+1)*ev.maskWords]
 		cnt := 0
 		for _, e := range es {
 			if int(e.sup) >= s {
-				if mask == nil {
-					mask = make([]uint64, ev.maskWords)
+				if cnt == 0 {
+					for i := range mask {
+						mask[i] = 0
+					}
 				}
 				mask[e.rep/64] |= 1 << (uint(e.rep) % 64)
 				cnt++
 			}
 		}
 		if cnt > 0 {
-			lives = append(lives, live{id: id, p: float64(cnt) / float64(ev.delta), mask: mask})
+			lives = append(lives, liveSet{id: id, p: float64(cnt) / float64(ev.delta), mask: mask})
 		}
 	}
+	ev.lives = lives
 	if len(lives) == 0 {
 		return BoundPoint{S: s}, false
 	}
-	// Inverted index: item -> live indices.
-	inv := make(map[uint32][]int)
+	// Inverted index: item -> live indices. The map and its slices persist
+	// across calls; entries for items with no live itemset at this s stay
+	// empty and are never consulted.
+	inv := ev.inv
+	for it := range inv {
+		inv[it] = inv[it][:0]
+	}
 	for li, lv := range lives {
-		for _, it := range col.items[lv.id] {
+		for _, it := range col.itemsOf(lv.id) {
 			inv[it] = append(inv[it], li)
 		}
 	}
@@ -89,7 +116,7 @@ func (ev *evaluator) evalCapped(s int, budget float64) (bp BoundPoint, exceeded 
 		ev.stampID++
 		// X overlaps itself: include the diagonal in b1.
 		neighborP := 0.0
-		for _, it := range col.items[lv.id] {
+		for _, it := range col.itemsOf(lv.id) {
 			for _, oj := range inv[it] {
 				if ev.stamp[oj] == ev.stampID {
 					continue

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"sigfim/internal/dataset"
 	"sigfim/internal/mining"
 	"sigfim/internal/randmodel"
 	"sigfim/internal/stats"
@@ -151,7 +152,12 @@ type entry struct {
 	sup int32
 }
 
-// collection holds the mined union set W with per-replicate supports.
+// collection holds the mined union set W with per-replicate supports. The
+// itemsets live in a string-free mining.ItemsetTable — an open-addressing
+// hash table over the packed [k]uint32 tuples — whose dense insertion-order
+// entry ids index the parallel entries slices. The former map[string]int +
+// Itemset.Key() index allocated one short-lived string per emitted itemset
+// per replicate, which dominated GC pressure in the replicate merge.
 //
 // pruneFloor is the adaptive retention threshold: when the entry volume
 // exceeds the soft cap, entries below a raised pruneFloor are discarded.
@@ -166,13 +172,27 @@ type entry struct {
 // support level below pruneFloor is already known to fail the Poisson
 // acceptance test and never needs an exact evaluation.
 type collection struct {
-	items      []mining.Itemset // W, indexed by id
-	entries    [][]entry        // per itemset, ascending rep
-	index      map[string]int   // itemset key -> id
+	k          int
+	index      *mining.ItemsetTable // W: id lookup + packed tuple storage
+	entries    [][]entry            // per itemset id, ascending rep
 	maxSup     int
 	numEntry   int
 	pruneFloor int
 }
+
+// newCollection returns an empty collection for k-itemsets.
+func newCollection(k, floor int) *collection {
+	return &collection{k: k, index: mining.NewItemsetTable(k, 0), pruneFloor: floor}
+}
+
+// itemsOf returns the itemset of entry id (a view into the table storage;
+// valid until the next prune).
+func (col *collection) itemsOf(id int) mining.Itemset {
+	return mining.Itemset(col.index.Items(id))
+}
+
+// numItemsets returns |W|.
+func (col *collection) numItemsets() int { return col.index.Len() }
 
 // softCapFor returns the entry volume at which pruning kicks in; it must
 // exceed Delta^2 * eps / 4 for the prune justification above to hold, which
@@ -186,7 +206,11 @@ func softCapFor(delta int) int {
 }
 
 // prune raises pruneFloor until at most target entries remain, rebuilding
-// the compact structures.
+// the compact structures. Surviving itemsets are re-inserted in id order, so
+// the rebuilt table assigns the same relative ids a from-scratch merge at the
+// new floor would — the prune schedule stays deterministic for every worker
+// count. Pruning is rare (it fires only when the entry volume crosses the
+// multi-million soft cap), so the rebuild allocates a fresh table.
 func (col *collection) prune(target int) {
 	// Histogram of entry supports to pick the new floor.
 	hist := make(map[int]int)
@@ -201,11 +225,11 @@ func (col *collection) prune(target int) {
 		remaining -= hist[newFloor]
 		newFloor++
 	}
-	items := col.items[:0]
+	index := mining.NewItemsetTable(col.k, col.index.Len()/2)
 	entries := col.entries[:0]
-	index := make(map[string]int, len(col.items)/2)
 	num := 0
-	for id, es := range col.entries {
+	for id := 0; id < col.index.Len(); id++ {
+		es := col.entries[id]
 		kept := es[:0]
 		for _, e := range es {
 			if int(e.sup) >= newFloor {
@@ -215,14 +239,12 @@ func (col *collection) prune(target int) {
 		if len(kept) == 0 {
 			continue
 		}
-		index[col.items[id].Key()] = len(items)
-		items = append(items, col.items[id])
+		index.Insert(col.index.Items(id)) // new id == len(entries)
 		entries = append(entries, kept)
 		num += len(kept)
 	}
-	col.items = items
-	col.entries = entries
 	col.index = index
+	col.entries = entries
 	col.numEntry = num
 	col.pruneFloor = newFloor
 }
@@ -326,7 +348,7 @@ func finishResult(res *Result, col *collection) {
 	}
 	sort.Ints(all)
 	res.allSupports = all
-	res.NumItemsets = len(col.items)
+	res.NumItemsets = col.numItemsets()
 	sort.Slice(res.Curve, func(i, j int) bool { return res.Curve[i].S < res.Curve[j].S })
 }
 
@@ -399,10 +421,14 @@ func maxExpectedSupport(m randmodel.Model, k int) float64 {
 	return prod
 }
 
-// repOutput is one replicate's mined itemsets, in a compact flat encoding.
+// repOutput is one replicate's mined itemsets in a flat string-free encoding:
+// k items per itemset in items, supports parallel in sups. The buffers cycle
+// between the mining workers and the merge through a free list, so the
+// steady-state replicate loop reuses a bounded set of them instead of
+// allocating per replicate.
 type repOutput struct {
-	keys []string
-	sups []int32
+	items []uint32
+	sups  []int32
 }
 
 // mineAll mines the k-itemsets with support >= floor from each replicate,
@@ -412,8 +438,15 @@ type repOutput struct {
 // seed); the merge consumes results strictly in replicate order, so the
 // collection — including the prune schedule — is identical for any worker
 // count.
+//
+// This is the hot loop of the whole system, and it is allocation-free in
+// steady state: each worker keeps one pooled Vertical (column backing arrays
+// reused across replicates via GenerateReusing), one mining.Scratch (DFS and
+// tree buffers reused across mines), and recycles flat repOutput buffers
+// through a free list; the merge indexes itemsets through the collection's
+// string-free table.
 func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers int, algo mining.Algorithm) (*collection, error) {
-	col := &collection{index: make(map[string]int), pruneFloor: floor}
+	col := newCollection(k, floor)
 	softCap := softCapFor(len(seeds))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -437,19 +470,30 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 	for i := range outputs {
 		outputs[i] = make(chan repOutput, 1)
 	}
+	// Consumed output buffers return here for any worker to reuse; capacity
+	// bounds the number of buffers in flight (workers mining + merge lag).
+	free := make(chan repOutput, 2*workers+1)
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		go func() {
+			scratch := mining.NewScratch()
+			var v *dataset.Vertical
 			for {
 				rep := int(next.Add(1)) - 1
 				if rep >= len(seeds) {
 					return
 				}
-				v := m.Generate(stats.NewRNG(seeds[rep]))
+				v = randmodel.GenerateReusing(m, stats.NewRNG(seeds[rep]), v)
 				var out repOutput
+				select {
+				case out = <-free:
+					out.items = out.items[:0]
+					out.sups = out.sups[:0]
+				default:
+				}
 				mineFloor := int(minFloor.Load())
-				mining.VisitKAlgoParallel(v, k, mineFloor, intra, algo, func(items mining.Itemset, sup int) {
-					out.keys = append(out.keys, items.Key())
+				mining.VisitKAlgoScratch(v, k, mineFloor, intra, algo, scratch, func(items mining.Itemset, sup int) {
+					out.items = append(out.items, items...)
 					out.sups = append(out.sups, int32(sup))
 				})
 				outputs[rep] <- out
@@ -459,16 +503,13 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 
 	for rep := range seeds {
 		out := <-outputs[rep]
-		for i, key := range out.keys {
-			sup := int(out.sups[i])
+		for i, sup32 := range out.sups {
+			sup := int(sup32)
 			if sup < col.pruneFloor {
 				continue
 			}
-			id, ok := col.index[key]
-			if !ok {
-				id = len(col.items)
-				col.index[key] = id
-				col.items = append(col.items, mining.KeyToItemset(key))
+			id, added := col.index.Insert(out.items[i*k : (i+1)*k])
+			if added {
 				col.entries = append(col.entries, nil)
 			}
 			col.entries[id] = append(col.entries[id], entry{rep: int32(rep), sup: int32(sup)})
@@ -476,6 +517,10 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 			if sup > col.maxSup {
 				col.maxSup = sup
 			}
+		}
+		select {
+		case free <- out:
+		default:
 		}
 		if col.numEntry > softCap {
 			col.prune(softCap / 2)

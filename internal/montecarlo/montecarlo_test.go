@@ -283,12 +283,13 @@ func TestAdaptivePruningPath(t *testing.T) {
 }
 
 func TestCollectionPrune(t *testing.T) {
-	col := &collection{index: map[string]int{}, pruneFloor: 1}
+	col := newCollection(2, 1)
 	// Three itemsets with supports spread over levels.
 	add := func(items mining.Itemset, reps []int, sups []int) {
-		id := len(col.items)
-		col.index[items.Key()] = id
-		col.items = append(col.items, items)
+		_, added := col.index.Insert(items)
+		if !added {
+			t.Fatalf("duplicate itemset %v in test setup", items)
+		}
 		var es []entry
 		for i := range reps {
 			es = append(es, entry{rep: int32(reps[i]), sup: int32(sups[i])})
@@ -310,14 +311,18 @@ func TestCollectionPrune(t *testing.T) {
 	for id, es := range col.entries {
 		for _, e := range es {
 			if int(e.sup) < col.pruneFloor {
-				t.Fatalf("entry below floor retained: %v sup %d", col.items[id], e.sup)
+				t.Fatalf("entry below floor retained: %v sup %d", col.itemsOf(id), e.sup)
 			}
 		}
 	}
-	// Index must be consistent with items.
-	for key, id := range col.index {
-		if !mining.KeyToItemset(key).Equal(col.items[id]) {
-			t.Fatal("index out of sync after prune")
+	// Index must be consistent with the entries: every stored tuple must look
+	// itself up to its own id, and ids must cover the entries slice.
+	if col.index.Len() != len(col.entries) {
+		t.Fatalf("table has %d itemsets, entries %d", col.index.Len(), len(col.entries))
+	}
+	for id := 0; id < col.index.Len(); id++ {
+		if got := col.index.Lookup(col.index.Items(id)); got != id {
+			t.Fatalf("itemset %v maps to id %d, want %d", col.itemsOf(id), got, id)
 		}
 	}
 }

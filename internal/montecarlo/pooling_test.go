@@ -1,0 +1,141 @@
+package montecarlo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sigfim/internal/mining"
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+// Pooling-determinism tests: the allocation-free replicate engine (pooled
+// generation, per-worker mining scratch, string-free collection index) must
+// not change FindPoissonThreshold's output by a single bit — for any worker
+// count, for any algorithm, and against the pre-pooling golden values below,
+// which were captured from the unpooled implementation on the same model and
+// seed.
+
+// poolingGoldenModel is the fixed model the golden values were captured on.
+func poolingGoldenModel() randmodel.IndependentModel {
+	z := stats.FitPowerLaw(300, 1e-4, 0.1, 4)
+	return randmodel.IndependentModel{T: 8000, Freqs: z.Frequencies()}
+}
+
+// poolingGolden pins the pre-pooling outputs (captured at the commit before
+// this refactor, Workers=1, algorithm eclat-tids). Every (worker, algorithm)
+// combination must still reproduce them exactly.
+var poolingGolden = []struct {
+	k           int
+	sMin        int
+	sTilde      float64
+	floor       int
+	sMax        int
+	numItemsets int
+	curveLen    int
+	lambdaFloor float64
+}{
+	{k: 2, sMin: 73, sTilde: 58.405794, floor: 59, sMax: 81, numItemsets: 4, curveLen: 9, lambdaFloor: 0.566667},
+	{k: 3, sMin: 10, sTilde: 3.547285, floor: 4, sMax: 12, numItemsets: 753, curveLen: 5, lambdaFloor: 21.183333},
+}
+
+func TestFindPoissonThresholdPoolingDeterminism(t *testing.T) {
+	m := poolingGoldenModel()
+	algos := []mining.Algorithm{mining.EclatTids, mining.EclatBits, mining.FPGrowth}
+	workerCounts := []int{1, 4, 8}
+	for _, g := range poolingGolden {
+		// algoRef is the workers=1 run of the current algorithm: runs at
+		// higher worker counts must be bit-identical to it. crossRef is the
+		// first algorithm's run: other algorithms must agree on the support
+		// pool exactly (it is a sorted integer multiset) and on every curve
+		// point's S; the B1/B2 floats may differ in the last bits BETWEEN
+		// algorithms because each algorithm assigns collection ids in its own
+		// emission order, which permutes the float summation (this was
+		// already true before pooling).
+		var algoRef, crossRef *Result
+		for _, algo := range algos {
+			algoRef = nil
+			for _, w := range workerCounts {
+				res, err := FindPoissonThreshold(m, Config{
+					K: g.k, Delta: 60, Epsilon: 0.01, Seed: 42, Workers: w, Algorithm: algo,
+				})
+				if err != nil {
+					t.Fatalf("k=%d algo=%v workers=%d: %v", g.k, algo, w, err)
+				}
+				if res.SMin != g.sMin || res.Floor != g.floor || res.SMax != g.sMax ||
+					res.NumItemsets != g.numItemsets || len(res.Curve) != g.curveLen {
+					t.Fatalf("k=%d algo=%v workers=%d: got (smin=%d floor=%d smax=%d W=%d curve=%d), want (%d %d %d %d %d)",
+						g.k, algo, w, res.SMin, res.Floor, res.SMax, res.NumItemsets, len(res.Curve),
+						g.sMin, g.floor, g.sMax, g.numItemsets, g.curveLen)
+				}
+				if math.Abs(res.STilde-g.sTilde) > 1e-4 {
+					t.Fatalf("k=%d algo=%v workers=%d: sTilde %v, want %v", g.k, algo, w, res.STilde, g.sTilde)
+				}
+				if math.Abs(res.Lambda(res.Floor)-g.lambdaFloor) > 1e-4 {
+					t.Fatalf("k=%d algo=%v workers=%d: Lambda(floor) %v, want %v",
+						g.k, algo, w, res.Lambda(res.Floor), g.lambdaFloor)
+				}
+				if algoRef == nil {
+					algoRef = res
+				} else {
+					// Bit-identical across worker counts: the same floats
+					// from the same additions in the same order.
+					if !reflect.DeepEqual(res.Curve, algoRef.Curve) {
+						t.Fatalf("k=%d algo=%v workers=%d: bound curve differs from workers=%d run",
+							g.k, algo, w, workerCounts[0])
+					}
+					if !reflect.DeepEqual(res.allSupports, algoRef.allSupports) {
+						t.Fatalf("k=%d algo=%v workers=%d: lambda support pool differs from workers=%d run",
+							g.k, algo, w, workerCounts[0])
+					}
+				}
+				if crossRef == nil {
+					crossRef = res
+				} else {
+					if !reflect.DeepEqual(res.allSupports, crossRef.allSupports) {
+						t.Fatalf("k=%d algo=%v workers=%d: lambda support pool differs across algorithms", g.k, algo, w)
+					}
+					for i, bp := range res.Curve {
+						want := crossRef.Curve[i]
+						if bp.S != want.S || bp.Partial != want.Partial {
+							t.Fatalf("k=%d algo=%v workers=%d: curve point %d (%+v) disagrees with %+v",
+								g.k, algo, w, i, bp, want)
+						}
+						if bp.Partial {
+							// A capped evaluation stops as soon as the budget
+							// is exceeded, so its partial B1/B2 depend on the
+							// live-set iteration order, which is per-algorithm.
+							continue
+						}
+						if math.Abs(bp.B1-want.B1) > 1e-9 || math.Abs(bp.B2-want.B2) > 1e-9 {
+							t.Fatalf("k=%d algo=%v workers=%d: curve point %d (%+v) disagrees with %+v",
+								g.k, algo, w, i, bp, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateReusingMatchesGenerate pins the pooled-generation contract: for
+// the same seed, GenerateInto into a dirty reused Vertical produces exactly
+// the dataset Generate builds fresh — same stream, same columns.
+func TestGenerateReusingMatchesGenerate(t *testing.T) {
+	z := stats.FitPowerLaw(80, 1e-3, 0.2, 5)
+	m := randmodel.IndependentModel{T: 1000, Freqs: z.Frequencies()}
+	pooled := randmodel.GenerateReusing(m, stats.NewRNG(7), nil)
+	for seed := uint64(1); seed <= 5; seed++ {
+		fresh := m.Generate(stats.NewRNG(seed))
+		pooled = randmodel.GenerateReusing(m, stats.NewRNG(seed), pooled)
+		if pooled.NumTransactions != fresh.NumTransactions || len(pooled.Tids) != len(fresh.Tids) {
+			t.Fatalf("seed %d: shape mismatch", seed)
+		}
+		for it := range fresh.Tids {
+			if !reflect.DeepEqual(append([]uint32{}, fresh.Tids[it]...), append([]uint32{}, pooled.Tids[it]...)) {
+				t.Fatalf("seed %d: column %d differs between pooled and fresh generation", seed, it)
+			}
+		}
+	}
+}

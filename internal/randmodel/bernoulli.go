@@ -47,21 +47,34 @@ func (m IndependentModel) ItemFrequencies() []float64 { return m.Freqs }
 
 // Generate draws one dataset. Column i is filled by visiting only the
 // transactions that contain item i (geometric skip sampling), so the total
-// expected cost is the expected dataset size sum_i T*f_i.
+// expected cost is the expected dataset size sum_i T*f_i. It is a thin
+// wrapper over GenerateInto with a fresh Vertical.
 func (m IndependentModel) Generate(r *stats.RNG) *dataset.Vertical {
-	tids := make([]bitset.TidList, len(m.Freqs))
-	for i, f := range m.Freqs {
-		tids[i] = sampleColumn(m.T, f, r)
-	}
-	return &dataset.Vertical{NumTransactions: m.T, Tids: tids}
+	v := &dataset.Vertical{}
+	m.GenerateInto(r, v)
+	return v
 }
 
-// sampleColumn returns the sorted tids of a Bernoulli(f) column of height t.
-func sampleColumn(t int, f float64, r *stats.RNG) bitset.TidList {
-	if f <= 0 || t == 0 {
-		return nil
+// GenerateInto draws one dataset into v, reusing v's column backing arrays
+// (see randmodel.InPlaceGenerator). The random stream consumed is identical
+// to Generate's, so for a fixed seed the pooled and fresh paths produce the
+// same dataset.
+func (m IndependentModel) GenerateInto(r *stats.RNG, v *dataset.Vertical) {
+	v.Reuse(m.T, len(m.Freqs))
+	for i, f := range m.Freqs {
+		v.Tids[i] = sampleColumn(v.Tids[i], m.T, f, r)
 	}
-	col := make(bitset.TidList, 0, int(float64(t)*f)+4)
+}
+
+// sampleColumn appends the sorted tids of a Bernoulli(f) column of height t
+// to col (passed with length zero) and returns it.
+func sampleColumn(col bitset.TidList, t int, f float64, r *stats.RNG) bitset.TidList {
+	if f <= 0 || t == 0 {
+		return col
+	}
+	if col == nil {
+		col = make(bitset.TidList, 0, int(float64(t)*f)+4)
+	}
 	s := stats.NewSkipSampler(t, f, r)
 	for {
 		pos, ok := s.Next()

@@ -110,6 +110,14 @@ func (m MixtureModel) Generate(r *stats.RNG) *dataset.Vertical {
 	return IndependentModel{T: m.T, Freqs: freqs}.Generate(r)
 }
 
+// GenerateInto draws frequencies then a dataset into v, reusing v's column
+// buffers (the per-replicate frequency vector itself is drawn fresh; it is
+// n float64s, negligible next to the columns).
+func (m MixtureModel) GenerateInto(r *stats.RNG, v *dataset.Vertical) {
+	freqs := m.DrawFrequencies(r)
+	IndependentModel{T: m.T, Freqs: freqs}.GenerateInto(r, v)
+}
+
 // DrawFrequencies samples the per-item frequency vector R_x.
 func (m MixtureModel) DrawFrequencies(r *stats.RNG) []float64 {
 	freqs := make([]float64, m.N)

@@ -33,6 +33,36 @@ type Model interface {
 	ItemFrequencies() []float64
 }
 
+// InPlaceGenerator is the optional pooled-generation interface: GenerateInto
+// refills a caller-owned Vertical, reusing its per-item column backing
+// arrays, so a worker that mines thousands of replicates allocates column
+// storage only while the buffers are still growing. Models whose generation
+// is inherently allocating (e.g. swap randomization, which re-runs a Markov
+// chain over a materialized dataset) simply don't implement it; callers fall
+// back to Generate.
+type InPlaceGenerator interface {
+	// GenerateInto draws one dataset into v, which is reshaped via
+	// (*dataset.Vertical).Reuse and must not be shared with a previous
+	// replicate still in use. The stream consumed from r is identical to
+	// Generate's, so pooled and fresh generation produce the same dataset
+	// for the same seed.
+	GenerateInto(r *stats.RNG, v *dataset.Vertical)
+}
+
+// GenerateReusing draws one dataset from m into v when the model supports
+// in-place generation (returning v), and falls back to m.Generate otherwise.
+// v may be nil, in which case a fresh Vertical is used.
+func GenerateReusing(m Model, r *stats.RNG, v *dataset.Vertical) *dataset.Vertical {
+	if ipg, ok := m.(InPlaceGenerator); ok {
+		if v == nil {
+			v = &dataset.Vertical{}
+		}
+		ipg.GenerateInto(r, v)
+		return v
+	}
+	return m.Generate(r)
+}
+
 // Replicates draws count independent datasets from the model, splitting the
 // generator so each replicate has its own stream.
 func Replicates(m Model, count int, r *stats.RNG) []*dataset.Vertical {

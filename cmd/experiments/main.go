@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -34,54 +35,88 @@ import (
 	"sigfim/internal/synth"
 )
 
-var (
-	flagTable    = flag.Int("table", 0, "table to regenerate (1-5; 0 = all)")
-	flagScale    = flag.Int("scale", 0, "divide every profile's t by this factor (0 = per-profile auto; 1 = full size)")
-	flagDelta    = flag.Int("delta", 200, "Monte Carlo replicates for Algorithm 1")
-	flagK        = flag.String("k", "2,3,4", "comma-separated itemset sizes")
-	flagDatasets = flag.String("datasets", "", "comma-separated profile names (default: all six)")
-	flagTrials   = flag.Int("trials", 20, "random instances per profile for Table 4")
-	flagSeed     = flag.Uint64("seed", 20090629, "base random seed")
-	flagVerbose  = flag.Bool("verbose", false, "print per-step diagnostics")
-	flagWorkers  = flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
-	flagAlgo     = flag.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
-)
-
-// algo holds the parsed -algo selection; every table's mining stages use it.
-var algo mining.Algorithm
+// app carries one invocation's settings and output sink; run() builds it
+// from the flags, so run is reentrant (no mutable package state).
+type app struct {
+	seed    uint64
+	delta   int
+	trials  int
+	workers int
+	verbose bool
+	algo    mining.Algorithm
+	out     io.Writer
+}
 
 func main() {
-	flag.Parse()
-	ks, err := parseKs(*flagK)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without os.Exit: usage errors (bad flags, bad -k/-datasets
+// lists, unknown algorithms) report on stderr with exit code 2, and the
+// selected tables print to stdout. Tests drive it directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "table to regenerate (1-5; 0 = all)")
+	scale := fs.Int("scale", 0, "divide every profile's t by this factor (0 = per-profile auto; 1 = full size)")
+	delta := fs.Int("delta", 200, "Monte Carlo replicates for Algorithm 1")
+	kList := fs.String("k", "2,3,4", "comma-separated itemset sizes")
+	datasets := fs.String("datasets", "", "comma-separated profile names (default: all six)")
+	trials := fs.Int("trials", 20, "random instances per profile for Table 4")
+	seed := fs.Uint64("seed", 20090629, "base random seed")
+	verbose := fs.Bool("verbose", false, "print per-step diagnostics")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
+	algoName := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	ks, err := parseKs(*kList)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	if algo, err = mining.ParseAlgorithm(*flagAlgo); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
-	}
-	specs, err := selectSpecs(*flagDatasets, *flagScale)
+	algo, err := mining.ParseAlgorithm(*algoName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 2
 	}
-	run := func(n int) bool { return *flagTable == 0 || *flagTable == n }
-	if run(1) {
-		table1(specs)
+	if *table < 0 || *table > 5 {
+		fmt.Fprintf(stderr, "experiments: -table must be 0-5, got %d\n", *table)
+		return 2
 	}
-	if run(2) {
-		table2(specs, ks)
+	if *scale < 0 {
+		fmt.Fprintf(stderr, "experiments: -scale must be >= 0, got %d\n", *scale)
+		return 2
 	}
-	if run(3) {
-		table3(specs, ks)
+	specs, err := selectSpecs(*datasets, *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	if run(4) {
-		table4(specs, ks)
+	a := &app{
+		seed: *seed, delta: *delta, trials: *trials, workers: *workers,
+		verbose: *verbose, algo: algo, out: stdout,
 	}
-	if run(5) {
-		table5(specs, ks)
+	want := func(n int) bool { return *table == 0 || *table == n }
+	if want(1) {
+		a.table1(specs)
 	}
+	if want(2) {
+		a.table2(specs, ks)
+	}
+	if want(3) {
+		a.table3(specs, ks)
+	}
+	if want(4) {
+		a.table4(specs, ks)
+	}
+	if want(5) {
+		a.table5(specs, ks)
+	}
+	return 0
 }
 
 func parseKs(s string) ([]int, error) {
@@ -121,32 +156,32 @@ func selectSpecs(names string, scale int) ([]synth.Spec, error) {
 
 // table1 reports the measured parameters of one generated "real" instance of
 // each profile, next to the published targets.
-func table1(specs []synth.Spec) {
-	fmt.Println("== Table 1: benchmark dataset parameters (measured on one synthetic instance) ==")
-	fmt.Printf("%-12s %8s %-24s %7s %9s\n", "Dataset", "n", "[fmin; fmax]", "m", "t")
+func (a *app) table1(specs []synth.Spec) {
+	fmt.Fprintln(a.out, "== Table 1: benchmark dataset parameters (measured on one synthetic instance) ==")
+	fmt.Fprintf(a.out, "%-12s %8s %-24s %7s %9s\n", "Dataset", "n", "[fmin; fmax]", "m", "t")
 	for _, spec := range specs {
-		v := spec.GenerateReal(*flagSeed)
+		v := spec.GenerateReal(a.seed)
 		p := dataset.ExtractVertical(spec.Name, v)
 		fmin, fmax := p.FreqRange()
-		fmt.Printf("%-12s %8d [%.3g ; %.3g] %10.1f %9d\n",
+		fmt.Fprintf(a.out, "%-12s %8d [%.3g ; %.3g] %10.1f %9d\n",
 			spec.Name, p.NumItems(), fmin, fmax, p.AvgTransactionLen(), p.T)
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 }
 
 // table2 runs Algorithm 1 on each random counterpart: a random dataset with
 // the same transaction count and item frequencies as the (generated) real
 // benchmark instance, exactly as the paper's RandX datasets are defined.
-func table2(specs []synth.Spec, ks []int) {
-	fmt.Println("== Table 2: ŝ_min from Algorithm 1 (eps=0.01) on random counterparts ==")
-	header("Dataset", ks, func(k int) string { return fmt.Sprintf("k=%d", k) })
+func (a *app) table2(specs []synth.Spec, ks []int) {
+	fmt.Fprintln(a.out, "== Table 2: ŝ_min from Algorithm 1 (eps=0.01) on random counterparts ==")
+	a.header("Dataset", ks, func(k int) string { return fmt.Sprintf("k=%d", k) })
 	for _, spec := range specs {
 		cells := make([]string, len(ks))
-		real := spec.GenerateReal(*flagSeed)
+		real := spec.GenerateReal(a.seed)
 		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
 		for i, k := range ks {
 			res, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
-				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo,
+				K: k, Delta: a.delta, Epsilon: 0.01, Seed: a.seed, Workers: a.workers, Algorithm: a.algo,
 			})
 			if err != nil {
 				cells[i] = "err:" + err.Error()
@@ -154,42 +189,42 @@ func table2(specs []synth.Spec, ks []int) {
 			}
 			cells[i] = strconv.Itoa(res.SMin)
 		}
-		row("Rand"+spec.Name, cells)
+		a.row("Rand"+spec.Name, cells)
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 }
 
 // table3 runs Procedure 2 on the planted "real" variants.
-func table3(specs []synth.Spec, ks []int) {
-	fmt.Println("== Table 3: Procedure 2 (alpha=beta=0.05) on the benchmark datasets ==")
-	fmt.Printf("%-12s %4s %10s %12s %12s\n", "Dataset", "k", "s*", "Q_{k,s*}", "lambda(s*)")
+func (a *app) table3(specs []synth.Spec, ks []int) {
+	fmt.Fprintln(a.out, "== Table 3: Procedure 2 (alpha=beta=0.05) on the benchmark datasets ==")
+	fmt.Fprintf(a.out, "%-12s %4s %10s %12s %12s\n", "Dataset", "k", "s*", "Q_{k,s*}", "lambda(s*)")
 	for _, spec := range specs {
-		v := spec.GenerateReal(*flagSeed)
+		v := spec.GenerateReal(a.seed)
 		for _, k := range ks {
-			a, err := core.Analyze(spec.Name, v, k, core.Options{
-				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo,
+			an, err := core.Analyze(spec.Name, v, k, core.Options{
+				Delta: a.delta, Seed: a.seed, Workers: a.workers, Algorithm: a.algo,
 			})
 			if err != nil {
-				fmt.Printf("%-12s %4d  error: %v\n", spec.Name, k, err)
+				fmt.Fprintf(a.out, "%-12s %4d  error: %v\n", spec.Name, k, err)
 				continue
 			}
-			printProc2Row(spec.Name, k, a.Proc2)
-			if *flagVerbose {
-				for _, st := range a.Proc2.Steps {
-					fmt.Printf("    step i=%d s=%d Q=%d lam=%.4g p=%.4g rej=%v\n",
+			a.printProc2Row(spec.Name, k, an.Proc2)
+			if a.verbose {
+				for _, st := range an.Proc2.Steps {
+					fmt.Fprintf(a.out, "    step i=%d s=%d Q=%d lam=%.4g p=%.4g rej=%v\n",
 						st.I, st.S, st.Q, st.Lambda, st.PValue, st.Rejected)
 				}
 			}
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 }
 
-func printProc2Row(name string, k int, p2 *core.Procedure2Result) {
+func (a *app) printProc2Row(name string, k int, p2 *core.Procedure2Result) {
 	if p2.Found {
-		fmt.Printf("%-12s %4d %10d %12d %12.3g\n", name, k, p2.SStar, p2.Q, p2.Lambda)
+		fmt.Fprintf(a.out, "%-12s %4d %10d %12d %12.3g\n", name, k, p2.SStar, p2.Q, p2.Lambda)
 	} else {
-		fmt.Printf("%-12s %4d %10s %12d %12d\n", name, k, "inf", 0, 0)
+		fmt.Fprintf(a.out, "%-12s %4d %10s %12d %12d\n", name, k, "inf", 0, 0)
 	}
 }
 
@@ -197,16 +232,16 @@ func printProc2Row(name string, k int, p2 *core.Procedure2Result) {
 // per (profile, k) — ŝ_min and the lambda estimates are properties of the
 // null model, not of any individual instance — and each trial then runs only
 // the Procedure 2 ladder against its own instance.
-func table4(specs []synth.Spec, ks []int) {
-	fmt.Printf("== Table 4: finite s* count over %d random instances per profile ==\n", *flagTrials)
-	header("Dataset", ks, func(k int) string { return fmt.Sprintf("k=%d", k) })
+func (a *app) table4(specs []synth.Spec, ks []int) {
+	fmt.Fprintf(a.out, "== Table 4: finite s* count over %d random instances per profile ==\n", a.trials)
+	a.header("Dataset", ks, func(k int) string { return fmt.Sprintf("k=%d", k) })
 	for _, spec := range specs {
 		cells := make([]string, len(ks))
-		real := spec.GenerateReal(*flagSeed)
+		real := spec.GenerateReal(a.seed)
 		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
 		for i, k := range ks {
 			mc, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
-				K: k, Delta: *flagDelta, Epsilon: 0.01, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo,
+				K: k, Delta: a.delta, Epsilon: 0.01, Seed: a.seed, Workers: a.workers, Algorithm: a.algo,
 			})
 			if err != nil {
 				cells[i] = "err:" + err.Error()
@@ -223,9 +258,9 @@ func table4(specs []synth.Spec, ks []int) {
 				return mc.Lambda(s)
 			}
 			finite := 0
-			for trial := 0; trial < *flagTrials; trial++ {
-				v := null.Generate(stats.NewRNG(*flagSeed + uint64(1000+trial)))
-				p2, err := core.Procedure2Ex(v, k, sMin, lambda, 0.05, 0.05, core.SplitEqual, *flagWorkers, algo)
+			for trial := 0; trial < a.trials; trial++ {
+				v := null.Generate(stats.NewRNG(a.seed + uint64(1000+trial)))
+				p2, err := core.Procedure2Ex(v, k, sMin, lambda, 0.05, 0.05, core.SplitEqual, a.workers, a.algo)
 				if err != nil {
 					cells[i] = "err:" + err.Error()
 					break
@@ -238,48 +273,48 @@ func table4(specs []synth.Spec, ks []int) {
 				cells[i] = strconv.Itoa(finite)
 			}
 		}
-		row("Random"+spec.Name, cells)
+		a.row("Random"+spec.Name, cells)
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 }
 
 // table5 compares Procedure 1's family size |R| against Procedure 2's.
-func table5(specs []synth.Spec, ks []int) {
-	fmt.Println("== Table 5: Procedure 1 |R| and power ratio r = Q_{k,s*}/|R| (beta=0.05) ==")
-	fmt.Printf("%-12s %4s %10s %10s\n", "Dataset", "k", "|R|", "r")
+func (a *app) table5(specs []synth.Spec, ks []int) {
+	fmt.Fprintln(a.out, "== Table 5: Procedure 1 |R| and power ratio r = Q_{k,s*}/|R| (beta=0.05) ==")
+	fmt.Fprintf(a.out, "%-12s %4s %10s %10s\n", "Dataset", "k", "|R|", "r")
 	for _, spec := range specs {
-		v := spec.GenerateReal(*flagSeed)
+		v := spec.GenerateReal(a.seed)
 		for _, k := range ks {
-			a, err := core.Analyze(spec.Name, v, k, core.Options{
-				Delta: *flagDelta, Seed: *flagSeed, Workers: *flagWorkers, Algorithm: algo, RunProcedure1: true,
+			an, err := core.Analyze(spec.Name, v, k, core.Options{
+				Delta: a.delta, Seed: a.seed, Workers: a.workers, Algorithm: a.algo, RunProcedure1: true,
 			})
 			if err != nil {
-				fmt.Printf("%-12s %4d  error: %v\n", spec.Name, k, err)
+				fmt.Fprintf(a.out, "%-12s %4d  error: %v\n", spec.Name, k, err)
 				continue
 			}
-			r := a.PowerRatio()
+			r := an.PowerRatio()
 			rs := fmt.Sprintf("%.3f", r)
 			if math.IsInf(r, 1) {
 				rs = "inf"
 			}
-			fmt.Printf("%-12s %4d %10d %10s\n", spec.Name, k, a.Proc1.FamilySize, rs)
+			fmt.Fprintf(a.out, "%-12s %4d %10d %10s\n", spec.Name, k, an.Proc1.FamilySize, rs)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 }
 
-func header(label string, ks []int, f func(int) string) {
-	fmt.Printf("%-16s", label)
+func (a *app) header(label string, ks []int, f func(int) string) {
+	fmt.Fprintf(a.out, "%-16s", label)
 	for _, k := range ks {
-		fmt.Printf("%12s", f(k))
+		fmt.Fprintf(a.out, "%12s", f(k))
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 }
 
-func row(label string, cells []string) {
-	fmt.Printf("%-16s", label)
+func (a *app) row(label string, cells []string) {
+	fmt.Fprintf(a.out, "%-16s", label)
 	for _, c := range cells {
-		fmt.Printf("%12s", c)
+		fmt.Fprintf(a.out, "%12s", c)
 	}
-	fmt.Println()
+	fmt.Fprintln(a.out)
 }

@@ -1,5 +1,6 @@
 // Command sigfim mines frequent and statistically significant itemsets from
-// FIMI-format transaction files.
+// FIMI-format transaction files (gzip-compressed input is detected
+// transparently).
 //
 // Subcommands:
 //
@@ -18,48 +19,91 @@
 //	sigfim rules -in data.dat -minsup 100 [-minconf 0.5] [-beta 0.05] [-top 50]
 //	    Association rules with exact Binomial and Fisher p-values;
 //	    -beta selects the Benjamini-Yekutieli-significant subset.
+//
+// Errors go to stderr with a non-zero exit status: 2 for usage errors (bad
+// flags, unknown subcommands), 1 for runtime failures (unreadable input,
+// pipeline errors).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sigfim"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "mine":
-		err = cmdMine(os.Args[2:])
-	case "smin":
-		err = cmdSMin(os.Args[2:])
-	case "significant":
-		err = cmdSignificant(os.Args[2:])
-	case "closed":
-		err = cmdClosed(os.Args[2:])
-	case "rules":
-		err = cmdRules(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "sigfim: unknown subcommand %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sigfim:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sigfim <mine|smin|significant|closed|rules> [flags]
+// run is main without os.Exit: it dispatches a subcommand and maps errors to
+// exit codes (0 ok, 1 runtime error, 2 usage error), writing errors to
+// stderr. Tests drive it directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmds := map[string]func([]string, io.Writer, io.Writer) error{
+		"mine":        cmdMine,
+		"smin":        cmdSMin,
+		"significant": cmdSignificant,
+		"closed":      cmdClosed,
+		"rules":       cmdRules,
+	}
+	name := args[0]
+	switch name {
+	case "-h", "--help", "help":
+		usage(stderr)
+		return 0
+	}
+	cmd, ok := cmds[name]
+	if !ok {
+		fmt.Fprintf(stderr, "sigfim: unknown subcommand %q\n", name)
+		usage(stderr)
+		return 2
+	}
+	if err := cmd(args[1:], stdout, stderr); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		if _, isUsage := err.(usageError); isUsage {
+			// The FlagSet already printed the problem to stderr.
+			return 2
+		}
+		fmt.Fprintln(stderr, "sigfim:", err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks flag-parse failures so run can exit 2 without printing
+// the error twice (the FlagSet reports it on stderr as it occurs).
+type usageError struct{ error }
+
+// newFlagSet builds a subcommand FlagSet that reports errors on stderr and
+// returns them instead of exiting the process.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parse wraps FlagSet.Parse, tagging failures as usage errors.
+func parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return flag.ErrHelp
+		}
+		return usageError{err}
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: sigfim <mine|smin|significant|closed|rules> [flags]
 run "sigfim <subcommand> -h" for flags`)
 }
 
@@ -70,8 +114,8 @@ func load(path string) (*sigfim.Dataset, error) {
 	return sigfim.OpenFIMI(path)
 }
 
-func cmdMine(args []string) error {
-	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+func cmdMine(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("mine", stderr)
 	in := fs.String("in", "", "input FIMI file")
 	minsup := fs.Int("minsup", 0, "absolute support threshold")
 	k := fs.Int("k", 0, "itemset size (0 = all sizes)")
@@ -79,7 +123,9 @@ func cmdMine(args []string) error {
 	algo := fs.String("algo", "auto", "auto|eclat|eclat-bits|apriori|fpgrowth")
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
 	workers := fs.Int("workers", 0, "mining goroutines (0 = all CPUs, 1 = serial)")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	d, err := load(*in)
 	if err != nil {
 		return err
@@ -91,13 +137,13 @@ func cmdMine(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d itemsets with support >= %d\n", len(ps), *minsup)
-	printPatterns(ps, *top)
+	fmt.Fprintf(stdout, "%d itemsets with support >= %d\n", len(ps), *minsup)
+	printPatterns(stdout, ps, *top)
 	return nil
 }
 
-func cmdSMin(args []string) error {
-	fs := flag.NewFlagSet("smin", flag.ExitOnError)
+func cmdSMin(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("smin", stderr)
 	in := fs.String("in", "", "input FIMI file")
 	k := fs.Int("k", 2, "itemset size")
 	delta := fs.Int("delta", 1000, "Monte Carlo replicates")
@@ -105,7 +151,9 @@ func cmdSMin(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	d, err := load(*in)
 	if err != nil {
 		return err
@@ -116,12 +164,12 @@ func cmdSMin(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("s_min = %d (k=%d, delta=%d, eps=%g)\n", s, *k, *delta, *eps)
+	fmt.Fprintf(stdout, "s_min = %d (k=%d, delta=%d, eps=%g)\n", s, *k, *delta, *eps)
 	return nil
 }
 
-func cmdSignificant(args []string) error {
-	fs := flag.NewFlagSet("significant", flag.ExitOnError)
+func cmdSignificant(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("significant", stderr)
 	in := fs.String("in", "", "input FIMI file")
 	k := fs.Int("k", 2, "itemset size")
 	alpha := fs.Float64("alpha", 0.05, "confidence budget")
@@ -132,7 +180,9 @@ func cmdSignificant(args []string) error {
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	d, err := load(*in)
 	if err != nil {
 		return err
@@ -144,65 +194,69 @@ func cmdSignificant(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("k = %d, alpha = %g, beta = %g\n", rep.K, rep.Alpha, rep.Beta)
-	fmt.Printf("s_min = %d (Poisson regime)\n", rep.SMin)
-	fmt.Println("threshold ladder:")
+	fmt.Fprintf(stdout, "k = %d, alpha = %g, beta = %g\n", rep.K, rep.Alpha, rep.Beta)
+	fmt.Fprintf(stdout, "s_min = %d (Poisson regime)\n", rep.SMin)
+	fmt.Fprintln(stdout, "threshold ladder:")
 	for _, st := range rep.Steps {
-		fmt.Printf("  s=%-8d Q=%-10d lambda=%-12.4g p=%-12.4g rejected=%v\n",
+		fmt.Fprintf(stdout, "  s=%-8d Q=%-10d lambda=%-12.4g p=%-12.4g rejected=%v\n",
 			st.S, st.Q, st.Lambda, st.PValue, st.Rejected)
 	}
 	if rep.Infinite {
-		fmt.Println("s* = infinity: no significant support threshold (data consistent with the null)")
+		fmt.Fprintln(stdout, "s* = infinity: no significant support threshold (data consistent with the null)")
 		return nil
 	}
-	fmt.Printf("s* = %d: %d significant %d-itemsets (null expects %.4g), FDR <= %g with confidence %g\n",
+	fmt.Fprintf(stdout, "s* = %d: %d significant %d-itemsets (null expects %.4g), FDR <= %g with confidence %g\n",
 		rep.SStar, rep.NumSignificant, rep.K, rep.Lambda, rep.Beta, 1-rep.Alpha)
-	printPatterns(rep.Significant, *top)
+	printPatterns(stdout, rep.Significant, *top)
 	if rep.Baseline != nil {
-		fmt.Printf("\nBY baseline (Procedure 1): %d of %d tested flagged; power ratio r = %.3f\n",
+		fmt.Fprintf(stdout, "\nBY baseline (Procedure 1): %d of %d tested flagged; power ratio r = %.3f\n",
 			rep.Baseline.NumSignificant, rep.Baseline.NumTested, rep.PowerRatio)
 	}
 	return nil
 }
 
-func cmdClosed(args []string) error {
-	fs := flag.NewFlagSet("closed", flag.ExitOnError)
+func cmdClosed(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("closed", stderr)
 	in := fs.String("in", "", "input FIMI file")
 	minsup := fs.Int("minsup", 0, "absolute support threshold")
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	d, err := load(*in)
 	if err != nil {
 		return err
 	}
 	ps := d.ClosedItemsets(*minsup)
-	fmt.Printf("%d closed itemsets with support >= %d\n", len(ps), *minsup)
-	printPatterns(ps, *top)
+	fmt.Fprintf(stdout, "%d closed itemsets with support >= %d\n", len(ps), *minsup)
+	printPatterns(stdout, ps, *top)
 	if big, ok := d.LargestClosedItemset(*minsup); ok {
-		fmt.Printf("largest closed itemset: %d items at support %d\n", len(big.Items), big.Support)
+		fmt.Fprintf(stdout, "largest closed itemset: %d items at support %d\n", len(big.Items), big.Support)
 	}
 	return nil
 }
 
-func printPatterns(ps []sigfim.Pattern, top int) {
+func printPatterns(w io.Writer, ps []sigfim.Pattern, top int) {
 	for i, p := range ps {
 		if top > 0 && i == top {
-			fmt.Printf("... and %d more\n", len(ps)-top)
+			fmt.Fprintf(w, "... and %d more\n", len(ps)-top)
 			return
 		}
-		fmt.Printf("  %v  support %d\n", p.Items, p.Support)
+		fmt.Fprintf(w, "  %v  support %d\n", p.Items, p.Support)
 	}
 }
 
-func cmdRules(args []string) error {
-	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+func cmdRules(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("rules", stderr)
 	in := fs.String("in", "", "input FIMI file")
 	minsup := fs.Int("minsup", 0, "absolute joint-support threshold")
 	minconf := fs.Float64("minconf", 0, "minimum confidence")
 	maxlen := fs.Int("maxlen", 0, "max joint itemset size (0 = 4)")
 	beta := fs.Float64("beta", 0, "if > 0, keep only BY-significant rules at this FDR")
 	top := fs.Int("top", 50, "print at most this many rules (0 = all)")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	d, err := load(*in)
 	if err != nil {
 		return err
@@ -217,13 +271,13 @@ func cmdRules(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d rules\n", len(rules))
+	fmt.Fprintf(stdout, "%d rules\n", len(rules))
 	for i, r := range rules {
 		if *top > 0 && i == *top {
-			fmt.Printf("... and %d more\n", len(rules)-*top)
+			fmt.Fprintf(stdout, "... and %d more\n", len(rules)-*top)
 			break
 		}
-		fmt.Printf("  %v => %v  sup=%d conf=%.3f lift=%.2f p=%.3g fisher=%.3g\n",
+		fmt.Fprintf(stdout, "  %v => %v  sup=%d conf=%.3f lift=%.2f p=%.3g fisher=%.3g\n",
 			r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift, r.PValue, r.FisherP)
 	}
 	return nil

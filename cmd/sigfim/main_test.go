@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const goldenPath = "../../testdata/golden_input.dat"
+
+// TestRunExitCodes drives the extracted run() through the CLI's error
+// surface: every failure mode must land on stderr with the documented
+// non-zero exit status — never a panic — and the happy paths must exit 0.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr string // substring; "" = don't care
+		wantStdout string // substring; "" = don't care
+	}{
+		{"no args", nil, 2, "usage:", ""},
+		{"help", []string{"help"}, 0, "usage:", ""},
+		{"unknown subcommand", []string{"transmogrify"}, 2, "unknown subcommand", ""},
+		{"bad flag", []string{"mine", "-bogus"}, 2, "flag provided but not defined", ""},
+		{"flag help", []string{"mine", "-h"}, 0, "-minsup", ""},
+		{"missing input", []string{"mine", "-minsup", "5"}, 1, "missing -in", ""},
+		{"unreadable input", []string{"mine", "-in", "/no/such/file.dat", "-minsup", "5"}, 1, "no such file", ""},
+		{"bad algorithm", []string{"mine", "-in", goldenPath, "-minsup", "5", "-algo", "quantum"}, 1, "unknown algorithm", ""},
+		{"smin missing input", []string{"smin"}, 1, "missing -in", ""},
+		{"smin bad path", []string{"smin", "-in", "/no/such/file.dat"}, 1, "no such file", ""},
+		{"significant bad path", []string{"significant", "-in", "/no/such/file.dat"}, 1, "no such file", ""},
+		{"closed bad path", []string{"closed", "-in", "/no/such/file.dat"}, 1, "no such file", ""},
+		{"rules bad path", []string{"rules", "-in", "/no/such/file.dat"}, 1, "no such file", ""},
+		{"smin bad delta", []string{"smin", "-in", goldenPath, "-delta=-1"}, 1, "Delta", ""},
+		{"mine ok", []string{"mine", "-in", goldenPath, "-minsup", "80", "-k", "2", "-top", "3"}, 0, "", "itemsets with support >= 80"},
+		{"smin ok", []string{"smin", "-in", goldenPath, "-delta", "30", "-seed", "5"}, 0, "", "s_min = "},
+		{"closed ok", []string{"closed", "-in", goldenPath, "-minsup", "100", "-top", "3"}, 0, "", "closed itemsets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout: %s\nstderr: %s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.wantStderr)
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout %q missing %q", stdout.String(), tc.wantStdout)
+			}
+			if code != 0 && stderr.Len() == 0 {
+				t.Error("non-zero exit with empty stderr")
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Command sigfimd serves the significance-mining pipeline over HTTP: named
+// datasets are registered once (at startup or by upload) and analysis jobs
+// run asynchronously on a bounded worker pool, with repeated queries served
+// from a deterministic result cache.
+//
+// Usage:
+//
+//	sigfimd [-addr :8080] [-data name=path]... [-workers N] [-queue N]
+//	        [-cache N] [-max-upload BYTES]
+//
+// Each -data flag registers one FIMI file (gzip detected transparently)
+// under a name before the server starts listening. Quickstart:
+//
+//	sigfimd -addr :8080 -data golden=testdata/golden_input.dat &
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/jobs \
+//	     -d '{"dataset":"golden","kind":"significant","k":2,"config":{"Delta":120,"Seed":9}}'
+//	curl localhost:8080/v1/jobs/j000001          # poll status/progress/result
+//	curl localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests and
+// running jobs are drained (up to a timeout), queued jobs are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sigfim/internal/service"
+)
+
+// dataFlags collects repeated -data name=path registrations.
+type dataFlags []struct{ name, path string }
+
+func (d *dataFlags) String() string {
+	var parts []string
+	for _, e := range *d {
+		parts = append(parts, e.name+"="+e.path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *dataFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*d = append(*d, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main without os.Exit, so tests can drive the flag and startup error
+// paths directly.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sigfimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "job worker pool size")
+	queue := fs.Int("queue", 64, "job queue capacity (backpressure bound)")
+	cacheSize := fs.Int("cache", 256, "result cache entries (negative disables)")
+	maxUpload := fs.Int64("max-upload", 1<<30, "max dataset upload size in bytes")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	var data dataFlags
+	fs.Var(&data, "data", "register dataset as name=path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	srv := service.New(service.Options{
+		Workers:        *workers,
+		QueueCap:       *queue,
+		CacheSize:      *cacheSize,
+		MaxUploadBytes: *maxUpload,
+		Logger:         logger,
+	})
+	for _, e := range data {
+		info, err := srv.Registry().RegisterFile(e.name, e.path)
+		if err != nil {
+			fmt.Fprintln(stderr, "sigfimd:", err)
+			return 1
+		}
+		logger.Info("dataset registered", "name", info.Name, "hash", info.Hash,
+			"transactions", info.NumTransactions, "items", info.NumItems)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr, "datasets", srv.Registry().Len())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure (bad address, port in use).
+		fmt.Fprintln(stderr, "sigfimd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "drain_timeout", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(drainCtx)
+	jobErr := srv.Shutdown(drainCtx)
+	if httpErr != nil || jobErr != nil {
+		fmt.Fprintln(stderr, "sigfimd: shutdown:", errors.Join(httpErr, jobErr))
+		return 1
+	}
+	logger.Info("bye")
+	return 0
+}

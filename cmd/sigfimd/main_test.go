@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunErrorPaths drives run() through the flag and startup error surface:
+// failures must land on stderr with the documented non-zero exit status.
+// (The happy serving path is exercised end to end by the service tests and
+// the CI server-smoke step.)
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr string
+	}{
+		{"bad flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"flag help", []string{"-h"}, 0, "-data"},
+		{"malformed data flag", []string{"-data", "justaname"}, 2, "want name=path"},
+		{"empty data name", []string{"-data", "=path"}, 2, "want name=path"},
+		{"unreadable dataset", []string{"-data", "x=/no/such/file.dat"}, 1, "no such file"},
+		{"invalid dataset name", []string{"-data", "a;b=../../testdata/golden_input.dat"}, 1, "invalid dataset name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			code := run(tc.args, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstderr: %s", code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.wantStderr)
+			}
+		})
+	}
+}
+
+func TestDataFlagsString(t *testing.T) {
+	var d dataFlags
+	if err := d.Set("a=x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("b=y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "a=x,b=y" {
+		t.Errorf("String() = %q", got)
+	}
+}

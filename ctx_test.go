@@ -1,0 +1,129 @@
+package sigfim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestHashDeterministic pins the content-hash contract: equality iff equal
+// canonical content, independence from input ordering/duplication (New
+// sorts and dedups), and stability under concurrent computation.
+func TestHashDeterministic(t *testing.T) {
+	a, err := FromTransactions([][]uint32{{3, 1, 2}, {5, 5, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromTransactions([][]uint32{{1, 2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Errorf("canonically equal datasets hash differently: %s vs %s", a.Hash(), b.Hash())
+	}
+	c, err := FromTransactions([][]uint32{{1, 2, 3}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == c.Hash() {
+		t.Error("different datasets share a hash")
+	}
+	// Transaction ORDER is part of the identity (datasets are sequences).
+	d, err := FromTransactions([][]uint32{{4, 5}, {1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == d.Hash() {
+		t.Error("reordered transactions share a hash")
+	}
+	// Concurrent first computation must agree (sync.Once guard).
+	e, _ := FromTransactions([][]uint32{{1, 2, 3}, {4, 5}})
+	var wg sync.WaitGroup
+	hashes := make([]string, 8)
+	for i := range hashes {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); hashes[i] = e.Hash() }(i)
+	}
+	wg.Wait()
+	for _, h := range hashes {
+		if h != a.Hash() {
+			t.Fatalf("concurrent hash %s != %s", h, a.Hash())
+		}
+	}
+}
+
+// TestCtxVariantsMatchAndCancel verifies the context-aware entry points: a
+// background context reproduces the plain calls exactly, and a canceled
+// context aborts with context.Canceled without producing a result.
+func TestCtxVariantsMatchAndCancel(t *testing.T) {
+	d, err := OpenFIMI("testdata/golden_input.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Delta: 40, Seed: 5}
+
+	want, err := d.Significant(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.SignificantCtx(context.Background(), 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("SignificantCtx(background) differs from Significant")
+	}
+
+	wantS, err := d.FindSMin(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := d.FindSMinCtx(context.Background(), 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS != wantS {
+		t.Errorf("FindSMinCtx = %d, FindSMin = %d", gotS, wantS)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if rep, err := d.SignificantCtx(canceled, 2, cfg); !errors.Is(err, context.Canceled) || rep != nil {
+		t.Errorf("canceled SignificantCtx: rep=%v err=%v, want nil/context.Canceled", rep, err)
+	}
+	if _, err := d.FindSMinCtx(canceled, 2, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled FindSMinCtx: err=%v, want context.Canceled", err)
+	}
+
+	// A run canceled midway must not perturb a subsequent complete run.
+	after, err := d.Significant(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, want) {
+		t.Error("report after canceled run differs from baseline")
+	}
+}
+
+// TestProgressCallback checks the replicate progress plumbing end to end
+// through the public Config.
+func TestProgressCallback(t *testing.T) {
+	d, err := OpenFIMI("testdata/golden_input.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last, calls, total int
+	cfg := &Config{Delta: 40, Seed: 5, Workers: 1, Progress: func(done, tot int) {
+		calls++
+		last = done
+		total = tot
+	}}
+	if _, err := d.FindSMin(2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if total != 40 || last != 40 || calls < 40 {
+		t.Errorf("progress: calls=%d last=%d total=%d, want >=40 calls ending at 40/40", calls, last, total)
+	}
+}

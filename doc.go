@@ -89,6 +89,20 @@
 // 1-5, cmd/sigfim is the general-purpose mining CLI, and cmd/fimigen
 // synthesizes FIMI files.
 //
+// Service layer. internal/service and cmd/sigfimd expose the pipeline as a
+// long-running HTTP service: a registry of named immutable datasets (each
+// content-hashed via Dataset.Hash, with the vertical index built once at
+// registration), an asynchronous job engine running SignificantCtx /
+// FindSMinCtx on a bounded worker pool with queue backpressure and
+// cooperative cancellation, and an LRU result cache keyed by (dataset hash,
+// canonicalized configuration, k) that serves repeated queries the exact
+// bytes of the original computation — sound because the pipeline is
+// deterministic for a fixed seed. The context-aware entry points
+// (SignificantCtx, FindSMinCtx) check the context at replicate boundaries of
+// the Monte Carlo loop; a canceled run returns ctx.Err() and never a partial
+// result, so cancellation cannot perturb results that do complete. Config's
+// Progress callback surfaces replicate progress for job status reporting.
+//
 // # Parallelism and determinism
 //
 // Mining and the significance pipeline run on a parallel engine. Both

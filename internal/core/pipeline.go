@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sigfim/internal/dataset"
@@ -46,6 +47,10 @@ type Options struct {
 	// mining.Apriori force those engines). All algorithms mine identical
 	// itemsets, so the choice affects performance only.
 	Algorithm mining.Algorithm
+	// Progress, when non-nil, receives Algorithm 1's replicate-merge progress
+	// (done, total); see montecarlo.Config.Progress. It cannot influence the
+	// result.
+	Progress func(done, total int)
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +96,17 @@ func (a *Analysis) PowerRatio() float64 {
 // extraction, Algorithm 1 on the matching null model, Procedure 2 with the
 // Monte Carlo lambda estimates, and optionally Procedure 1.
 func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), name, v, k, opts)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: the context is
+// threaded into Algorithm 1's replicate loop and checked between the
+// pipeline's stages. A canceled run returns ctx.Err() and never a partial
+// Analysis, so cancellation cannot perturb results that do complete.
+func AnalyzeCtx(ctx context.Context, name string, v *dataset.Vertical, k int, opts Options) (*Analysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
@@ -101,7 +117,7 @@ func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, 
 		model = opts.NullModel
 	}
 
-	mc, err := montecarlo.FindPoissonThreshold(model, montecarlo.Config{
+	mc, err := montecarlo.FindPoissonThresholdCtx(ctx, model, montecarlo.Config{
 		K:          k,
 		Delta:      opts.Delta,
 		Epsilon:    opts.Epsilon,
@@ -109,9 +125,13 @@ func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, 
 		MaxEntries: opts.MaxEntries,
 		Workers:    opts.Workers,
 		Algorithm:  opts.Algorithm,
+		Progress:   opts.Progress,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: Algorithm 1: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sMin := mc.SMin
 	if opts.SMinOverride > 0 {
@@ -134,6 +154,9 @@ func Analyze(name string, v *dataset.Vertical, k int, opts Options) (*Analysis, 
 	}
 	a := &Analysis{Profile: profile, K: k, MC: mc, Proc2: p2}
 	if opts.RunProcedure1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p1, err := Procedure1(v, k, sMin, opts.Beta)
 		if err != nil {
 			return nil, err

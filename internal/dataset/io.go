@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -12,11 +13,34 @@ import (
 // integer item ids, as used by the FIMI repository datasets the paper
 // benchmarks on (Retail, Kosarak, Bms1, Bms2, Bmspos, Pumsb*). Readers accept
 // arbitrary ids and remap is left to the caller via ReadFIMI's returned
-// universe size (max id + 1).
+// universe size (max id + 1). Gzip-compressed streams are detected by their
+// 2-byte magic header and decompressed transparently, so the large public
+// FIMI datasets can be used without unpacking.
 
-// ReadFIMI parses a FIMI-format stream. The item universe is [0, maxID+1).
+// maybeGzip sniffs the gzip magic header (0x1f 0x8b) and, when present,
+// interposes a decompressor. Streams shorter than two bytes (including empty
+// ones) pass through untouched.
+func maybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil || len(magic) < 2 || magic[0] != 0x1f || magic[1] != 0x8b {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: gzip: %w", err)
+	}
+	return zr, nil
+}
+
+// ReadFIMI parses a FIMI-format stream, transparently decompressing gzip
+// input. The item universe is [0, maxID+1).
 func ReadFIMI(r io.Reader) (*Dataset, error) {
-	sc := bufio.NewScanner(r)
+	plain, err := maybeGzip(r)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(plain)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	var tx [][]uint32
 	maxID := -1

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestReadFIMIGzip verifies the transparent gzip path against an in-memory
+// fixture: the compressed stream must parse to exactly the same dataset as
+// the plain text, and the sniffing must not disturb plain streams that
+// merely start with digits.
+func TestReadFIMIGzip(t *testing.T) {
+	const text = "1 2 3\n7 23\n2 3\n\n5\n"
+	plain, err := ReadFIMI(bytes.NewReader([]byte(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write([]byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := ReadFIMI(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.NumItems() != zipped.NumItems() || plain.NumTransactions() != zipped.NumTransactions() {
+		t.Fatalf("dims differ: plain %d items/%d tx, gzip %d items/%d tx",
+			plain.NumItems(), plain.NumTransactions(), zipped.NumItems(), zipped.NumTransactions())
+	}
+	if !reflect.DeepEqual(plain.Transactions(), zipped.Transactions()) {
+		t.Error("transactions differ between plain and gzip parse")
+	}
+}
+
+// TestReadFIMIGzipFile covers the file path (ReadFIMIFile on a .gz) and the
+// degenerate inputs the sniffer must pass through untouched.
+func TestReadFIMIGzipFile(t *testing.T) {
+	const text = "10 20\n30\n"
+	path := filepath.Join(t.TempDir(), "mini.dat.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadFIMIFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 2 || d.NumItems() != 31 {
+		t.Errorf("got %d tx over %d items, want 2 over 31", d.NumTransactions(), d.NumItems())
+	}
+
+	// Empty and single-byte streams must not trip the 2-byte peek.
+	for _, tc := range []string{"", "7"} {
+		d, err := ReadFIMI(bytes.NewReader([]byte(tc)))
+		if err != nil {
+			t.Errorf("input %q: %v", tc, err)
+			continue
+		}
+		want := 0
+		if tc != "" {
+			want = 1
+		}
+		if d.NumTransactions() != want {
+			t.Errorf("input %q: %d transactions, want %d", tc, d.NumTransactions(), want)
+		}
+	}
+
+	// A truncated gzip stream (valid magic, garbage after) must error, not
+	// parse as text.
+	if _, err := ReadFIMI(bytes.NewReader([]byte{0x1f, 0x8b, 0x00})); err == nil {
+		t.Error("truncated gzip stream parsed without error")
+	}
+}

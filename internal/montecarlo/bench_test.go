@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"testing"
 
 	"sigfim/internal/mining"
@@ -60,7 +61,7 @@ func BenchmarkMineAll(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mineAll(m, seeds, 2, floor, 50_000_000, 1, mining.Auto); err != nil {
+		if _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 2, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,7 +83,7 @@ func BenchmarkMineAllLowFloor(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mineAll(m, seeds, 3, floor, 50_000_000, 1, mining.Auto); err != nil {
+		if _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 3, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,7 +108,7 @@ func BenchmarkEvaluatorEval(b *testing.B) {
 	for i := range seeds {
 		seeds[i] = root.Uint64()
 	}
-	col, err := mineAll(m, seeds, 2, res.Floor, 50_000_000, 0, mining.Auto)
+	col, err := mineAll(context.Background(), m, seeds, res.Floor, Config{K: 2, MaxEntries: 50_000_000, Algorithm: mining.Auto})
 	if err != nil {
 		b.Fatal(err)
 	}

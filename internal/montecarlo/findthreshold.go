@@ -23,6 +23,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -67,6 +68,12 @@ type Config struct {
 	// those engines). Every algorithm mines the same itemsets, and for a
 	// fixed algorithm the result is identical for any worker count.
 	Algorithm mining.Algorithm
+	// Progress, when non-nil, is called on the merge goroutine after each
+	// replicate's itemsets have been merged, with the number merged so far
+	// and the total Delta. An s-tilde halving restarts the count from zero.
+	// The callback must be fast and must not block; it cannot influence the
+	// result.
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +260,18 @@ func (col *collection) prune(target int) {
 // usually the paper's independence model, but any Model works, including
 // swap randomization (the adaptation the paper's Section 1.1 anticipates).
 func FindPoissonThreshold(m randmodel.Model, cfg Config) (*Result, error) {
+	return FindPoissonThresholdCtx(context.Background(), m, cfg)
+}
+
+// FindPoissonThresholdCtx is FindPoissonThreshold with cooperative
+// cancellation. The context is checked at replicate boundaries of the Monte
+// Carlo loop (the only unbounded stage); once canceled the call returns
+// ctx.Err() promptly and no partial Result ever escapes, so cancellation can
+// never perturb the determinism of results that do complete.
+func FindPoissonThresholdCtx(ctx context.Context, m randmodel.Model, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -280,7 +299,7 @@ func FindPoissonThreshold(m randmodel.Model, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("montecarlo: exceeded %d s-tilde halvings", cfg.MaxHalvings)
 		}
 		floor := floorOf(sTilde)
-		col, err := mineAll(m, seeds, cfg.K, floor, cfg.MaxEntries, cfg.Workers, cfg.Algorithm)
+		col, err := mineAll(ctx, m, seeds, floor, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -445,9 +464,11 @@ type repOutput struct {
 // tree buffers reused across mines), and recycles flat repOutput buffers
 // through a free list; the merge indexes itemsets through the collection's
 // string-free table.
-func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers int, algo mining.Algorithm) (*collection, error) {
+func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, cfg Config) (*collection, error) {
+	k := cfg.K
 	col := newCollection(k, floor)
 	softCap := softCapFor(len(seeds))
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -479,6 +500,13 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 			scratch := mining.NewScratch()
 			var v *dataset.Vertical
 			for {
+				// Cancellation checkpoint: stop claiming replicates once the
+				// context dies. Replicates already claimed still complete and
+				// deposit into their (buffered) output slot, so no goroutine
+				// ever blocks on an abandoned merge.
+				if ctx.Err() != nil {
+					return
+				}
 				rep := int(next.Add(1)) - 1
 				if rep >= len(seeds) {
 					return
@@ -492,7 +520,7 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 				default:
 				}
 				mineFloor := int(minFloor.Load())
-				mining.VisitKAlgoScratch(v, k, mineFloor, intra, algo, scratch, func(items mining.Itemset, sup int) {
+				mining.VisitKAlgoScratch(v, k, mineFloor, intra, cfg.Algorithm, scratch, func(items mining.Itemset, sup int) {
 					out.items = append(out.items, items...)
 					out.sups = append(out.sups, int32(sup))
 				})
@@ -502,7 +530,15 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 	}
 
 	for rep := range seeds {
-		out := <-outputs[rep]
+		var out repOutput
+		select {
+		case out = <-outputs[rep]:
+		case <-ctx.Done():
+			// Replicate boundary cancellation: abandon the merge without
+			// touching the partially built collection again. Workers drain
+			// themselves via the ctx check above.
+			return nil, ctx.Err()
+		}
 		for i, sup32 := range out.sups {
 			sup := int(sup32)
 			if sup < col.pruneFloor {
@@ -526,8 +562,11 @@ func mineAll(m randmodel.Model, seeds []uint64, k, floor, maxEntries, workers in
 			col.prune(softCap / 2)
 			minFloor.Store(int64(col.pruneFloor))
 		}
-		if col.numEntry > maxEntries {
-			return nil, fmt.Errorf("montecarlo: entry budget %d exceeded at replicate %d (floor %d too low)", maxEntries, rep, floor)
+		if col.numEntry > cfg.MaxEntries {
+			return nil, fmt.Errorf("montecarlo: entry budget %d exceeded at replicate %d (floor %d too low)", cfg.MaxEntries, rep, floor)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(rep+1, len(seeds))
 		}
 	}
 	return col, nil

@@ -1,0 +1,605 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigfim"
+	"sigfim/internal/mining"
+)
+
+// Sentinel error classes; the HTTP layer maps them to status codes.
+var (
+	// ErrBadRequest marks client errors in a request body or parameter (400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrNotFound marks lookups of unknown datasets or jobs (404).
+	ErrNotFound = errors.New("not found")
+	// ErrConflict marks attempts to re-register a dataset name with
+	// different content (409).
+	ErrConflict = errors.New("conflict")
+	// ErrQueueFull is the job queue's backpressure signal (503): the client
+	// should retry later rather than pile more work onto a saturated pool.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrShuttingDown rejects submissions during graceful shutdown (503).
+	ErrShuttingDown = errors.New("server shutting down")
+)
+
+// Job kinds.
+const (
+	// KindSignificant runs the full methodology (Dataset.SignificantCtx) and
+	// stores the complete sigfim.Report.
+	KindSignificant = "significant"
+	// KindSMin runs Algorithm 1 alone (Dataset.FindSMinCtx) and stores the
+	// estimated Poisson threshold.
+	KindSMin = "smin"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	// Dataset names a registered dataset.
+	Dataset string `json:"dataset"`
+	// Kind is KindSignificant or KindSMin.
+	Kind string `json:"kind"`
+	// K is the itemset size under study.
+	K int `json:"k"`
+	// Config carries the full analysis configuration; nil selects the
+	// paper's defaults. Field names follow sigfim.Config (Alpha, Beta,
+	// Epsilon, Delta, Seed, WithBaseline, MaxPatterns, SwapNull, Workers,
+	// Algorithm).
+	Config *sigfim.Config `json:"config,omitempty"`
+}
+
+// Progress reports how far a running job's Monte Carlo stage has advanced.
+type Progress struct {
+	// Done counts replicates merged so far; Total is the configured Delta.
+	// An internal restart (s-tilde halving) resets Done to zero.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobStatus is the public view of a job, returned by the submit, get, and
+// cancel endpoints.
+type JobStatus struct {
+	ID          string          `json:"id"`
+	State       JobState        `json:"state"`
+	Dataset     string          `json:"dataset"`
+	DatasetHash string          `json:"dataset_hash"`
+	Kind        string          `json:"kind"`
+	K           int             `json:"k"`
+	CacheHit    bool            `json:"cache_hit"`
+	Progress    Progress        `json:"progress"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	CreatedAt   time.Time       `json:"created_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+}
+
+// SMinResult is the stored result payload of a KindSMin job.
+type SMinResult struct {
+	K    int `json:"k"`
+	SMin int `json:"s_min"`
+}
+
+// job is the engine's mutable job record. Mutable fields are guarded by the
+// engine mutex except the progress counters, which the pipeline's merge
+// goroutine updates through atomics.
+type job struct {
+	id       string
+	req      JobRequest
+	ds       *sigfim.Dataset
+	dsHash   string
+	cacheKey string
+
+	state      JobState
+	cacheHit   bool
+	result     []byte
+	errMsg     string
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	cancel     context.CancelFunc
+
+	progressDone  atomic.Int64
+	progressTotal atomic.Int64
+}
+
+// EngineCounters are the lifetime job counters exposed by /v1/stats.
+type EngineCounters struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	CacheHits int64 `json:"cache_hits"`
+	InFlight  int64 `json:"in_flight"`
+	Queued    int64 `json:"queued"`
+}
+
+// Engine runs jobs on a bounded worker pool with a bounded queue. Submit
+// applies backpressure (ErrQueueFull) instead of queueing without bound, so
+// a saturated service degrades by refusing work, never by exhausting memory.
+// Finished job records (which hold their result bytes) are likewise bounded:
+// once more than retention jobs are tracked, the oldest terminal records are
+// evicted and their ids answer 404 — the result cache, not the job table, is
+// the long-term result store.
+type Engine struct {
+	registry  *Registry
+	cache     *ResultCache
+	queue     chan *job
+	retention int
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	nextID int
+	closed bool
+
+	wg sync.WaitGroup // running workers
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	cacheHits atomic.Int64
+	inFlight  atomic.Int64
+	queued    atomic.Int64
+}
+
+// NewEngine starts an engine with the given worker pool size (minimum 1),
+// queue capacity (minimum 1), and finished-job retention bound (minimum the
+// queue capacity plus the pool size, so live jobs are never evicted).
+func NewEngine(registry *Registry, cache *ResultCache, workers, queueCap, retention int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if retention < workers+queueCap {
+		retention = workers + queueCap
+	}
+	e := &Engine{
+		registry:  registry,
+		cache:     cache,
+		queue:     make(chan *job, queueCap),
+		retention: retention,
+		jobs:      make(map[string]*job),
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// validate checks a request before it is admitted, so queued jobs can only
+// fail for runtime reasons, never for malformed parameters.
+func (e *Engine) validate(req JobRequest) error {
+	switch req.Kind {
+	case KindSignificant, KindSMin:
+	default:
+		return fmt.Errorf("%w: unknown job kind %q (want %q or %q)", ErrBadRequest, req.Kind, KindSignificant, KindSMin)
+	}
+	if req.K < 1 {
+		return fmt.Errorf("%w: k must be >= 1, got %d", ErrBadRequest, req.K)
+	}
+	if c := req.Config; c != nil {
+		if _, err := mining.ParseAlgorithm(c.Algorithm); err != nil {
+			return fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, c.Algorithm)
+		}
+		if c.Delta < 0 || c.MaxPatterns < 0 || c.Workers < 0 {
+			return fmt.Errorf("%w: delta, max patterns, and workers must be >= 0", ErrBadRequest)
+		}
+		if c.Alpha < 0 || c.Alpha >= 1 || c.Beta < 0 || c.Beta >= 1 || c.Epsilon < 0 || c.Epsilon >= 1 {
+			return fmt.Errorf("%w: alpha, beta, and epsilon must be in [0, 1) (0 = default)", ErrBadRequest)
+		}
+		if req.Kind == KindSMin && c.SwapNull {
+			// FindSMin always runs the independence null; silently returning
+			// an independence-model threshold for a swap-null request would
+			// be a wrong answer, so refuse instead.
+			return fmt.Errorf("%w: SwapNull is not supported for %q jobs (FindSMin uses the independence null)", ErrBadRequest, KindSMin)
+		}
+	}
+	return nil
+}
+
+// canonicalRequest is the cache-key normal form of a job request: defaults
+// are filled in exactly as the pipeline fills them, fields a kind ignores
+// are zeroed, and performance-only knobs (Workers) are dropped entirely —
+// the engine guarantees bit-identical results for every worker count, so two
+// requests differing only in Workers share one cache slot. Algorithm stays
+// in the key: every algorithm mines identical itemsets, but float-valued
+// report fields (lambda estimates, p-values) can differ in their last bits
+// across algorithms, and the cache contract is bit-identity.
+type canonicalRequest struct {
+	Kind         string  `json:"kind"`
+	K            int     `json:"k"`
+	Alpha        float64 `json:"alpha"`
+	Beta         float64 `json:"beta"`
+	Epsilon      float64 `json:"epsilon"`
+	Delta        int     `json:"delta"`
+	Seed         uint64  `json:"seed"`
+	WithBaseline bool    `json:"with_baseline"`
+	MaxPatterns  int     `json:"max_patterns"`
+	SwapNull     bool    `json:"swap_null"`
+	Algorithm    string  `json:"algorithm"`
+}
+
+// canonicalize builds the canonical form of a validated request.
+func canonicalize(req JobRequest) canonicalRequest {
+	cfg := sigfim.Config{}
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	c := canonicalRequest{
+		Kind:      req.Kind,
+		K:         req.K,
+		Epsilon:   cfg.Epsilon,
+		Delta:     cfg.Delta,
+		Seed:      cfg.Seed,
+		Algorithm: cfg.Algorithm,
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.01
+	}
+	if c.Delta == 0 {
+		c.Delta = 1000
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = sigfim.AlgoAuto
+	}
+	if req.Kind == KindSignificant {
+		c.Alpha = cfg.Alpha
+		c.Beta = cfg.Beta
+		c.WithBaseline = cfg.WithBaseline
+		c.MaxPatterns = cfg.MaxPatterns
+		c.SwapNull = cfg.SwapNull
+		if c.Alpha == 0 {
+			c.Alpha = 0.05
+		}
+		if c.Beta == 0 {
+			c.Beta = 0.05
+		}
+		if c.MaxPatterns == 0 {
+			c.MaxPatterns = 100000
+		}
+	}
+	return c
+}
+
+// cacheKeyFor composes the full cache key: dataset identity plus the
+// canonical request.
+func cacheKeyFor(dsHash string, c canonicalRequest) string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// canonicalRequest contains only scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("service: canonical request marshal: %v", err))
+	}
+	return dsHash + "|" + string(b)
+}
+
+// Submit validates and enqueues a job. A result-cache hit completes the job
+// synchronously (the returned status is already StateDone and carries the
+// cached bytes); otherwise the job is queued, or ErrQueueFull is returned
+// when the queue is at capacity.
+func (e *Engine) Submit(req JobRequest) (JobStatus, error) {
+	if err := e.validate(req); err != nil {
+		return JobStatus{}, err
+	}
+	ds, info, ok := e.registry.Get(req.Dataset)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: dataset %q is not registered", ErrNotFound, req.Dataset)
+	}
+	key := cacheKeyFor(info.Hash, canonicalize(req))
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return JobStatus{}, ErrShuttingDown
+	}
+	e.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", e.nextID),
+		req:       req,
+		ds:        ds,
+		dsHash:    info.Hash,
+		cacheKey:  key,
+		createdAt: time.Now().UTC(),
+	}
+	e.submitted.Add(1)
+
+	if cached, ok := e.cache.Get(key); ok {
+		j.state = StateDone
+		j.cacheHit = true
+		j.result = cached
+		j.finishedAt = j.createdAt
+		e.cacheHits.Add(1)
+		e.completed.Add(1)
+		e.jobs[j.id] = j
+		e.order = append(e.order, j.id)
+		e.evictLocked()
+		return e.statusLocked(j), nil
+	}
+
+	select {
+	case e.queue <- j:
+	default:
+		e.submitted.Add(-1)
+		return JobStatus{}, ErrQueueFull
+	}
+	j.state = StateQueued
+	e.queued.Add(1)
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.evictLocked()
+	return e.statusLocked(j), nil
+}
+
+// evictLocked drops the oldest terminal job records until at most retention
+// jobs are tracked, so a long-running service's job table stays bounded.
+// Queued and running jobs are never evicted (the retention floor guarantees
+// enough headroom for all of them). Callers hold e.mu.
+func (e *Engine) evictLocked() {
+	for len(e.order) > e.retention {
+		evicted := false
+		for i, id := range e.order {
+			switch e.jobs[id].state {
+			case StateDone, StateFailed, StateCanceled:
+				delete(e.jobs, id)
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				evicted = true
+			}
+			if evicted {
+				break
+			}
+		}
+		if !evicted {
+			return // every tracked job is still live
+		}
+	}
+}
+
+// worker executes queued jobs until the queue is closed.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.run(j)
+	}
+}
+
+// run executes one job end to end. Cancellation propagates through the
+// job's context into the Monte Carlo replicate loop; a canceled job ends in
+// StateCanceled with no result, and — because the pipeline either returns a
+// complete result or an error, never a partial — cancellation cannot corrupt
+// the cache, the registry, or any other job.
+func (e *Engine) run(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	e.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		e.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.startedAt = time.Now().UTC()
+	j.cancel = cancel
+	e.mu.Unlock()
+	e.queued.Add(-1)
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+
+	var cfg sigfim.Config
+	if j.req.Config != nil {
+		cfg = *j.req.Config // copy: the engine attaches its own Progress
+	}
+	cfg.Progress = func(done, total int) {
+		j.progressDone.Store(int64(done))
+		j.progressTotal.Store(int64(total))
+	}
+
+	var payload any
+	var err error
+	switch j.req.Kind {
+	case KindSignificant:
+		payload, err = j.ds.SignificantCtx(ctx, j.req.K, &cfg)
+	case KindSMin:
+		var s int
+		s, err = j.ds.FindSMinCtx(ctx, j.req.K, &cfg)
+		payload = SMinResult{K: j.req.K, SMin: s}
+	default: // unreachable: Submit validated the kind
+		err = fmt.Errorf("unknown kind %q", j.req.Kind)
+	}
+
+	var result []byte
+	if err == nil {
+		result, err = json.Marshal(payload)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j.finishedAt = time.Now().UTC()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		// Publish to the cache only after the computation fully succeeded;
+		// identical future submissions are then served these exact bytes.
+		e.cache.Put(j.cacheKey, result)
+		j.state = StateDone
+		j.result = result
+		e.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+		e.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		e.failed.Add(1)
+	}
+}
+
+// Get returns the status of a job.
+func (e *Engine) Get(id string) (JobStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	return e.statusLocked(j), nil
+}
+
+// Cancel requests cancellation of a job. Queued jobs are canceled
+// immediately; running jobs are canceled cooperatively at the next replicate
+// boundary of their Monte Carlo loop. Canceling a finished job is a no-op
+// that returns its final status.
+func (e *Engine) Cancel(id string) (JobStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.errMsg = "canceled before start"
+		j.finishedAt = time.Now().UTC()
+		e.queued.Add(-1)
+		e.canceled.Add(1)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel() // state transition happens in run when the pipeline unwinds
+		}
+	}
+	return e.statusLocked(j), nil
+}
+
+// List returns the status of every job in submission order.
+func (e *Engine) List() []JobStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]JobStatus, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.statusLocked(e.jobs[id]))
+	}
+	return out
+}
+
+// Counters snapshots the lifetime job counters.
+func (e *Engine) Counters() EngineCounters {
+	return EngineCounters{
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Failed:    e.failed.Load(),
+		Canceled:  e.canceled.Load(),
+		CacheHits: e.cacheHits.Load(),
+		InFlight:  e.inFlight.Load(),
+		Queued:    e.queued.Load(),
+	}
+}
+
+// statusLocked builds the public view of a job; callers hold e.mu.
+func (e *Engine) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Dataset:     j.req.Dataset,
+		DatasetHash: j.dsHash,
+		Kind:        j.req.Kind,
+		K:           j.req.K,
+		CacheHit:    j.cacheHit,
+		Progress: Progress{
+			Done:  int(j.progressDone.Load()),
+			Total: int(j.progressTotal.Load()),
+		},
+		Error:     j.errMsg,
+		CreatedAt: j.createdAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+	}
+	if j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// Shutdown drains the engine gracefully: no new submissions are accepted,
+// still-queued jobs are canceled, and running jobs are given until the
+// context expires to finish. If the context expires first, running jobs are
+// canceled cooperatively and Shutdown waits for them to unwind (prompt: the
+// pipeline aborts at the next replicate boundary) before returning the
+// context's error.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	// Drain still-queued jobs: they are canceled, not run. Workers may race
+	// us for them; whoever wins, run's state check keeps it consistent.
+drain:
+	for {
+		select {
+		case j := <-e.queue:
+			e.mu.Lock()
+			if j.state == StateQueued {
+				j.state = StateCanceled
+				j.errMsg = "canceled: server shutting down"
+				j.finishedAt = time.Now().UTC()
+				e.queued.Add(-1)
+				e.canceled.Add(1)
+			}
+			e.mu.Unlock()
+		default:
+			break drain
+		}
+	}
+	close(e.queue)
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		e.mu.Lock()
+		for _, j := range e.jobs {
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel()
+			}
+		}
+		e.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"sigfim"
+)
+
+// DatasetInfo is the registry's public view of one dataset.
+type DatasetInfo struct {
+	// Name is the registry key the dataset was registered under.
+	Name string `json:"name"`
+	// Hash is the deterministic content hash (sigfim.Dataset.Hash); together
+	// with a canonicalized analysis configuration it keys the result cache.
+	Hash string `json:"hash"`
+	// NumItems and NumTransactions echo the dataset dimensions.
+	NumItems        int `json:"num_items"`
+	NumTransactions int `json:"num_transactions"`
+	// Source records provenance: "file:<path>" for startup registrations,
+	// "upload" for datasets that arrived through POST /v1/datasets.
+	Source string `json:"source"`
+}
+
+// Registry holds the named, immutable datasets the service mines against.
+// Datasets are registered once — at startup from -data flags or at runtime
+// via upload — and never mutated or removed, so jobs can hold *sigfim.Dataset
+// pointers without further coordination: the wrapped Dataset is itself safe
+// for concurrent analysis (its lazy indexes are built behind sync.Once).
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]registryEntry
+}
+
+type registryEntry struct {
+	ds   *sigfim.Dataset
+	info DatasetInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]registryEntry)}
+}
+
+// validName reports whether a dataset name is usable as a path segment of
+// the HTTP API: nonempty, at most 128 bytes, and limited to letters, digits,
+// '.', '_', and '-'.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a dataset under a name. The content hash and the vertical
+// index are computed eagerly inside the call, so by the time the dataset is
+// visible to jobs every lazy structure is already warm. Registering an
+// existing name fails (datasets are immutable), except when the content hash
+// matches exactly — re-registering identical bytes is an idempotent no-op,
+// which makes uploads safely retryable.
+func (r *Registry) Register(name string, ds *sigfim.Dataset, source string) (DatasetInfo, error) {
+	if !validName(name) {
+		return DatasetInfo{}, fmt.Errorf("%w: invalid dataset name %q (want [A-Za-z0-9._-]{1,128})", ErrBadRequest, name)
+	}
+	// Warm the lazy caches before publishing: Hash for the cache identity,
+	// Profile for the vertical index and item supports.
+	hash := ds.Hash()
+	ds.Profile(name)
+	info := DatasetInfo{
+		Name:            name,
+		Hash:            hash,
+		NumItems:        ds.NumItems(),
+		NumTransactions: ds.NumTransactions(),
+		Source:          source,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[name]; ok {
+		if prev.info.Hash == hash {
+			return prev.info, nil
+		}
+		return DatasetInfo{}, fmt.Errorf("%w: dataset %q already registered with different content", ErrConflict, name)
+	}
+	r.byName[name] = registryEntry{ds: ds, info: info}
+	return info, nil
+}
+
+// RegisterFile opens a FIMI file (gzip detected transparently) and registers
+// it under the given name.
+func (r *Registry) RegisterFile(name, path string) (DatasetInfo, error) {
+	ds, err := sigfim.OpenFIMI(path)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	return r.Register(name, ds, "file:"+path)
+}
+
+// RegisterReader parses a FIMI stream (gzip detected transparently) and
+// registers it under the given name; used by the upload endpoint. The parse
+// error is wrapped (not flattened) so the HTTP layer can still distinguish
+// special causes like http.MaxBytesError.
+func (r *Registry) RegisterReader(name string, src io.Reader) (DatasetInfo, error) {
+	ds, err := sigfim.ReadFIMI(src)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("%w: dataset %q: %w", ErrBadRequest, name, err)
+	}
+	return r.Register(name, ds, "upload")
+}
+
+// Get returns the dataset registered under name.
+func (r *Registry) Get(name string) (*sigfim.Dataset, DatasetInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byName[name]
+	return e.ds, e.info, ok
+}
+
+// List returns every registered dataset, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.byName))
+	for _, e := range r.byName {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}

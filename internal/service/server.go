@@ -1,0 +1,297 @@
+// Package service turns the sigfim significance-mining pipeline into a
+// long-running HTTP service: a dataset registry of named, immutable,
+// content-hashed datasets; an asynchronous job engine running analyses on a
+// bounded worker pool with queue backpressure and cooperative cancellation;
+// and an LRU result cache that serves repeated queries the exact bytes of
+// the original computation. The whole pipeline is deterministic for a fixed
+// seed, which is what makes result caching sound and lets the service
+// promise bit-identical answers to equivalent direct library calls.
+//
+// HTTP surface (all bodies JSON unless noted):
+//
+//	GET    /healthz              liveness probe
+//	GET    /v1/stats             jobs run, cache hits, in-flight, uptime
+//	GET    /v1/datasets          list registered datasets
+//	POST   /v1/datasets?name=N   register a dataset from a FIMI body
+//	                             (gzip detected transparently)
+//	GET    /v1/datasets/{name}   one dataset's info
+//	GET    /v1/jobs              list jobs in submission order
+//	POST   /v1/jobs              submit an analysis job (JobRequest)
+//	GET    /v1/jobs/{id}         job status / progress / result
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Options configures a Server; the zero value selects sensible defaults.
+type Options struct {
+	// Workers is the job pool size (default 2).
+	Workers int
+	// QueueCap bounds the number of queued-but-not-running jobs before
+	// submissions are refused with 503 (default 64).
+	QueueCap int
+	// CacheSize bounds the LRU result cache entry count (default 256;
+	// negative disables caching).
+	CacheSize int
+	// JobRetention bounds how many job records (including their result
+	// bytes) the engine keeps; the oldest finished jobs beyond it are
+	// evicted and their ids answer 404 (default 1024, floored at
+	// Workers+QueueCap so live jobs are never evicted).
+	JobRetention int
+	// MaxUploadBytes bounds POST /v1/datasets request bodies
+	// (default 1 GiB).
+	MaxUploadBytes int64
+	// Logger receives structured request and lifecycle logs; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.JobRetention == 0 {
+		o.JobRetention = 1024
+	}
+	if o.MaxUploadBytes == 0 {
+		o.MaxUploadBytes = 1 << 30
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Server ties the registry, the job engine, and the result cache together
+// behind an http.Handler.
+type Server struct {
+	registry  *Registry
+	cache     *ResultCache
+	engine    *Engine
+	log       *slog.Logger
+	maxUpload int64
+	startedAt time.Time
+	handler   http.Handler
+}
+
+// New assembles a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := NewRegistry()
+	cache := NewResultCache(opts.CacheSize)
+	s := &Server{
+		registry:  reg,
+		cache:     cache,
+		engine:    NewEngine(reg, cache, opts.Workers, opts.QueueCap, opts.JobRetention),
+		log:       opts.Logger,
+		maxUpload: opts.MaxUploadBytes,
+		startedAt: time.Now().UTC(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.handler = s.logged(mux)
+	return s
+}
+
+// Registry exposes the dataset registry for startup registration.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Engine exposes the job engine (tests and stats).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Handler returns the HTTP handler, with request logging attached.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Shutdown drains the job engine; see Engine.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.engine.Shutdown(ctx)
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// logged wraps a handler with structured request logging.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+		)
+	})
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeError maps the service error classes onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		// Checked before ErrBadRequest: an oversized upload surfaces as a
+		// read error inside the FIMI parser, but the client needs 413 ("send
+		// less"), not 400 ("malformed").
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Datasets      int            `json:"datasets"`
+	Jobs          EngineCounters `json:"jobs"`
+	Cache         CacheStats     `json:"cache"`
+}
+
+// CacheStats summarizes the result cache for /v1/stats.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Counters()
+	writeJSON(w, http.StatusOK, Stats{
+		UptimeSeconds: time.Since(s.startedAt).Seconds(),
+		Datasets:      s.registry.Len(),
+		Jobs:          s.engine.Counters(),
+		Cache:         CacheStats{Hits: hits, Misses: misses, Entries: s.cache.Len()},
+	})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.registry.List()})
+}
+
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, fmt.Errorf("%w: missing ?name= query parameter", ErrBadRequest))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	info, err := s.registry.RegisterReader(name, body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.log.Info("dataset registered", "name", info.Name, "hash", info.Hash,
+		"transactions", info.NumTransactions, "items", info.NumItems, "source", info.Source)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	_, info, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: dataset %q", ErrNotFound, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.engine.List()})
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	st, err := s.engine.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if st.State == StateDone { // served synchronously from the result cache
+		status = http.StatusOK
+	}
+	writeJSON(w, status, st)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

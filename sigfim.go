@@ -1,8 +1,12 @@
 package sigfim
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"sync"
 
 	"sigfim/internal/dataset"
 	"sigfim/internal/mining"
@@ -11,11 +15,18 @@ import (
 )
 
 // Dataset is a transactional dataset: items are dense non-negative integer
-// ids, transactions are item sets. Datasets are immutable once constructed;
-// the vertical (item-major) index is built lazily and cached.
+// ids, transactions are item sets. Datasets are immutable once constructed
+// and safe for concurrent use: the vertical (item-major) index, the item
+// supports, and the content hash are built lazily exactly once behind
+// sync.Once guards, so many goroutines may analyze the same Dataset at the
+// same time (the basis of the sigfimd service).
 type Dataset struct {
 	d *dataset.Dataset
 	v *dataset.Vertical
+
+	prepOnce sync.Once // guards the lazy vertical index + item supports
+	hashOnce sync.Once // guards hash
+	hash     string
 }
 
 // FromTransactions builds a Dataset from raw transactions. Item ids may
@@ -38,7 +49,8 @@ func FromTransactions(tx [][]uint32) (*Dataset, error) {
 }
 
 // OpenFIMI reads a dataset in FIMI format (one transaction per line,
-// space-separated integer item ids) from a file.
+// space-separated integer item ids) from a file. Gzip-compressed files are
+// detected by their magic header and decompressed transparently.
 func OpenFIMI(path string) (*Dataset, error) {
 	d, err := dataset.ReadFIMIFile(path)
 	if err != nil {
@@ -47,7 +59,8 @@ func OpenFIMI(path string) (*Dataset, error) {
 	return &Dataset{d: d}, nil
 }
 
-// ReadFIMI reads a FIMI-format dataset from a stream.
+// ReadFIMI reads a FIMI-format dataset from a stream, transparently
+// decompressing gzip input (sniffed via the 2-byte magic header).
 func ReadFIMI(r io.Reader) (*Dataset, error) {
 	d, err := dataset.ReadFIMI(r)
 	if err != nil {
@@ -66,12 +79,54 @@ func fromVertical(v *dataset.Vertical) *Dataset {
 	return &Dataset{d: v.Horizontal(), v: v}
 }
 
-// vertical returns the cached item-major index.
+// vertical returns the cached item-major index, building it (and the item
+// supports it is derived from) exactly once even under concurrent callers.
 func (ds *Dataset) vertical() *dataset.Vertical {
-	if ds.v == nil {
-		ds.v = ds.d.Vertical()
-	}
+	ds.prepOnce.Do(func() {
+		ds.d.ItemSupports() // force the lazy support cache inside the guard
+		if ds.v == nil {
+			ds.v = ds.d.Vertical()
+		}
+	})
 	return ds.v
+}
+
+// frequencies returns the per-item frequency vector after forcing the
+// one-time index build, so concurrent readers never race on the lazy caches.
+func (ds *Dataset) frequencies() []float64 {
+	ds.vertical()
+	return ds.d.Frequencies()
+}
+
+// Hash returns a deterministic hex-encoded SHA-256 content hash of the
+// dataset: two datasets have equal hashes iff they have the same item
+// universe size and the same sequence of (sorted, deduplicated)
+// transactions. The hash is the cache identity of a dataset in the sigfimd
+// service — together with a canonicalized analysis configuration it keys the
+// result cache, which is sound because the whole pipeline is deterministic
+// for a fixed seed. Computed once and cached; safe for concurrent use.
+func (ds *Dataset) Hash() string {
+	ds.hashOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		writeU64 := func(x uint64) {
+			binary.LittleEndian.PutUint64(buf[:], x)
+			h.Write(buf[:])
+		}
+		writeU64(uint64(ds.d.NumItems()))
+		writeU64(uint64(ds.d.NumTransactions()))
+		var items []byte
+		for _, tr := range ds.d.Transactions() {
+			writeU64(uint64(len(tr)))
+			items = items[:0]
+			for _, it := range tr {
+				items = binary.LittleEndian.AppendUint32(items, it)
+			}
+			h.Write(items)
+		}
+		ds.hash = hex.EncodeToString(h.Sum(nil))
+	})
+	return ds.hash
 }
 
 // NumItems returns the item universe size n.
@@ -107,6 +162,7 @@ type Profile struct {
 
 // Profile measures the dataset.
 func (ds *Dataset) Profile(name string) Profile {
+	ds.vertical() // force the one-time lazy caches for concurrent safety
 	p := dataset.Extract(name, ds.d)
 	fmin, fmax := p.FreqRange()
 	return Profile{
@@ -132,7 +188,7 @@ func (p Profile) internalProfile() dataset.Profile {
 func (ds *Dataset) RandomTwin(seed uint64) *Dataset {
 	m := randmodel.IndependentModel{
 		T:     ds.d.NumTransactions(),
-		Freqs: ds.d.Frequencies(),
+		Freqs: ds.frequencies(),
 	}
 	return fromVertical(m.Generate(stats.NewRNG(seed)))
 }
@@ -210,6 +266,7 @@ func (ds *Dataset) Mine(opts MineOptions) ([]Pattern, error) {
 // algorithms mine the wrapper's horizontal dataset as-is instead of
 // round-tripping it through the vertical index.
 func (ds *Dataset) mineParsed(algo mining.Algorithm, opts MineOptions) ([]Pattern, error) {
+	ds.vertical() // force the one-time lazy caches for concurrent safety
 	mopts := mining.Options{
 		K:          opts.K,
 		MinSupport: opts.MinSupport,

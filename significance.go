@@ -1,6 +1,7 @@
 package sigfim
 
 import (
+	"context"
 	"fmt"
 
 	"sigfim/internal/core"
@@ -45,6 +46,13 @@ type Config struct {
 	// an automatic physical layout). All algorithms mine identical itemsets,
 	// so the choice affects performance only.
 	Algorithm string
+	// Progress, when non-nil, receives the Monte Carlo replicate progress
+	// (replicates merged so far, total Delta) from Algorithm 1's merge
+	// goroutine; an internal restart (s-tilde halving) resets the count to
+	// zero. The callback must be fast and must not block. It cannot
+	// influence the result, and it is ignored by JSON encoding, so configs
+	// arriving as JSON (e.g. through sigfimd) never carry one.
+	Progress func(completed, total int) `json:"-"`
 }
 
 func (c *Config) withDefaults() (core.Options, error) {
@@ -57,6 +65,7 @@ func (c *Config) withDefaults() (core.Options, error) {
 		o.Seed = c.Seed
 		o.RunProcedure1 = c.WithBaseline
 		o.Workers = c.Workers
+		o.Progress = c.Progress
 		algo, err := mining.ParseAlgorithm(c.Algorithm)
 		if err != nil {
 			return o, fmt.Errorf("sigfim: unknown algorithm %q", c.Algorithm)
@@ -119,6 +128,19 @@ type Report struct {
 // Significant runs the full methodology for k-itemsets: Algorithm 1 to find
 // the Poisson regime, then Procedure 2 to select s* with the FDR guarantee.
 func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
+	return ds.SignificantCtx(context.Background(), k, cfg)
+}
+
+// SignificantCtx is Significant with cooperative cancellation: the context
+// is checked at replicate boundaries of the Monte Carlo loop and between
+// pipeline stages. A canceled run returns ctx.Err() (wrapping
+// context.Canceled or context.DeadlineExceeded) and never a partial Report,
+// so for a fixed seed every report that IS returned is bit-identical
+// regardless of how many sibling runs were canceled around it.
+func (ds *Dataset) SignificantCtx(ctx context.Context, k int, cfg *Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -126,7 +148,7 @@ func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
 	if cfg != nil && cfg.SwapNull {
 		opts.NullModel = randmodel.SwapModel{Base: ds.d}
 	}
-	a, err := core.Analyze("dataset", ds.vertical(), k, opts)
+	a, err := core.AnalyzeCtx(ctx, "dataset", ds.vertical(), k, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +172,9 @@ func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
 			maxPat = cfg.MaxPatterns
 		}
 		if rep.NumSignificant <= int64(maxPat) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			ps, err := ds.mineParsed(opts.Algorithm, MineOptions{K: k, MinSupport: rep.SStar, Workers: opts.Workers})
 			if err != nil {
 				return nil, err
@@ -176,6 +201,12 @@ func (ds *Dataset) Significant(k int, cfg *Config) (*Report, error) {
 // FindSMin runs Algorithm 1 alone against the dataset's null model and
 // returns the estimated Poisson threshold ŝ_min for size-k itemsets.
 func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
+	return ds.FindSMinCtx(context.Background(), k, cfg)
+}
+
+// FindSMinCtx is FindSMin with cooperative cancellation; see SignificantCtx
+// for the cancellation contract.
+func (ds *Dataset) FindSMinCtx(ctx context.Context, k int, cfg *Config) (int, error) {
 	opts, err := cfg.withDefaults()
 	if err != nil {
 		return 0, err
@@ -188,11 +219,11 @@ func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
 	}
 	m := randmodel.IndependentModel{
 		T:     ds.d.NumTransactions(),
-		Freqs: ds.d.Frequencies(),
+		Freqs: ds.frequencies(),
 	}
-	res, err := montecarlo.FindPoissonThreshold(m, montecarlo.Config{
+	res, err := montecarlo.FindPoissonThresholdCtx(ctx, m, montecarlo.Config{
 		K: k, Delta: opts.Delta, Epsilon: opts.Epsilon, Seed: opts.Seed,
-		Workers: opts.Workers, Algorithm: opts.Algorithm,
+		Workers: opts.Workers, Algorithm: opts.Algorithm, Progress: opts.Progress,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("sigfim: %w", err)

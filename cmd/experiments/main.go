@@ -5,6 +5,7 @@
 //
 //	experiments -table N [-scale F] [-delta D] [-k list] [-datasets list]
 //	            [-trials T] [-seed S] [-workers W] [-verbose]
+//	            [-null independence|swap] [-swap-ppo 8] [-swap-proposals N]
 //
 // Table 1 prints the benchmark profile parameters; Table 2 runs Algorithm 1
 // (ŝ_min) on the random counterparts; Table 3 runs Procedure 2 on the "real"
@@ -38,13 +39,39 @@ import (
 // app carries one invocation's settings and output sink; run() builds it
 // from the flags, so run is reentrant (no mutable package state).
 type app struct {
-	seed    uint64
-	delta   int
-	trials  int
-	workers int
-	verbose bool
-	algo    mining.Algorithm
-	out     io.Writer
+	seed          uint64
+	delta         int
+	trials        int
+	workers       int
+	verbose       bool
+	algo          mining.Algorithm
+	swapNull      bool
+	swapPPO       int
+	swapProposals int
+	out           io.Writer
+}
+
+// nullFor builds the selected null model for one generated instance: the
+// paper's independence model from the measured profile, or margin-preserving
+// swap randomization seeded from the instance itself.
+func (a *app) nullFor(name string, v *dataset.Vertical) randmodel.Model {
+	if m := a.coreNull(v); m != nil {
+		return m
+	}
+	return randmodel.FromProfile(dataset.ExtractVertical(name, v))
+}
+
+// coreNull is the core.Options.NullModel value for one instance: nil keeps
+// the pipeline's default (independence from the measured profile).
+func (a *app) coreNull(v *dataset.Vertical) randmodel.Model {
+	if !a.swapNull {
+		return nil
+	}
+	return &randmodel.SwapModel{
+		Base:                   v.Horizontal(),
+		ProposalsPerOccurrence: a.swapPPO,
+		Proposals:              a.swapProposals,
+	}
 }
 
 func main() {
@@ -67,10 +94,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("verbose", false, "print per-step diagnostics")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	algoName := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
+	null := fs.String("null", "independence", "null model for tables 2-5: independence|swap")
+	swapPPO := fs.Int("swap-ppo", 0, "swap null: proposals per matrix occurrence per replicate (0 = 8)")
+	swapProposals := fs.Int("swap-proposals", 0, "swap null: absolute proposals per replicate (overrides -swap-ppo)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
+		return 2
+	}
+	var swapNull bool
+	switch *null {
+	case "", "independence":
+	case "swap":
+		swapNull = true
+	default:
+		fmt.Fprintf(stderr, "experiments: unknown null model %q (want independence or swap)\n", *null)
 		return 2
 	}
 	ks, err := parseKs(*kList)
@@ -99,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	a := &app{
 		seed: *seed, delta: *delta, trials: *trials, workers: *workers,
 		verbose: *verbose, algo: algo, out: stdout,
+		swapNull: swapNull, swapPPO: *swapPPO, swapProposals: *swapProposals,
 	}
 	want := func(n int) bool { return *table == 0 || *table == n }
 	if want(1) {
@@ -178,7 +218,7 @@ func (a *app) table2(specs []synth.Spec, ks []int) {
 	for _, spec := range specs {
 		cells := make([]string, len(ks))
 		real := spec.GenerateReal(a.seed)
-		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
+		null := a.nullFor(spec.Name, real)
 		for i, k := range ks {
 			res, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
 				K: k, Delta: a.delta, Epsilon: 0.01, Seed: a.seed, Workers: a.workers, Algorithm: a.algo,
@@ -200,9 +240,11 @@ func (a *app) table3(specs []synth.Spec, ks []int) {
 	fmt.Fprintf(a.out, "%-12s %4s %10s %12s %12s\n", "Dataset", "k", "s*", "Q_{k,s*}", "lambda(s*)")
 	for _, spec := range specs {
 		v := spec.GenerateReal(a.seed)
+		nm := a.coreNull(v) // one model per spec: its snapshot/pool warm across ks
 		for _, k := range ks {
 			an, err := core.Analyze(spec.Name, v, k, core.Options{
 				Delta: a.delta, Seed: a.seed, Workers: a.workers, Algorithm: a.algo,
+				NullModel: nm,
 			})
 			if err != nil {
 				fmt.Fprintf(a.out, "%-12s %4d  error: %v\n", spec.Name, k, err)
@@ -238,7 +280,7 @@ func (a *app) table4(specs []synth.Spec, ks []int) {
 	for _, spec := range specs {
 		cells := make([]string, len(ks))
 		real := spec.GenerateReal(a.seed)
-		null := randmodel.FromProfile(dataset.ExtractVertical(spec.Name, real))
+		null := a.nullFor(spec.Name, real)
 		for i, k := range ks {
 			mc, err := montecarlo.FindPoissonThreshold(null, montecarlo.Config{
 				K: k, Delta: a.delta, Epsilon: 0.01, Seed: a.seed, Workers: a.workers, Algorithm: a.algo,
@@ -284,9 +326,11 @@ func (a *app) table5(specs []synth.Spec, ks []int) {
 	fmt.Fprintf(a.out, "%-12s %4s %10s %10s\n", "Dataset", "k", "|R|", "r")
 	for _, spec := range specs {
 		v := spec.GenerateReal(a.seed)
+		nm := a.coreNull(v) // one model per spec: its snapshot/pool warm across ks
 		for _, k := range ks {
 			an, err := core.Analyze(spec.Name, v, k, core.Options{
 				Delta: a.delta, Seed: a.seed, Workers: a.workers, Algorithm: a.algo, RunProcedure1: true,
+				NullModel: nm,
 			})
 			if err != nil {
 				fmt.Fprintf(a.out, "%-12s %4d  error: %v\n", spec.Name, k, err)

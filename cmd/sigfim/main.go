@@ -9,11 +9,17 @@
 //	sigfim smin -in data.dat -k 2 [-delta 1000] [-eps 0.01] [-seed 1]
 //	    [-algo fpgrowth] [-workers N]
 //	    Algorithm 1: estimate the Poisson threshold ŝ_min of the dataset's
-//	    null model.
+//	    independence null model. (-null swap is rejected: the standalone
+//	    threshold is defined against the paper's independence null; use
+//	    "significant -null swap" for a swap-null analysis.)
 //	sigfim significant -in data.dat -k 2 [-alpha 0.05] [-beta 0.05]
 //	    [-delta 1000] [-baseline] [-algo fpgrowth] [-workers N] [-top 50]
+//	    [-null independence|swap] [-swap-ppo 8] [-swap-proposals N]
 //	    The full methodology: ŝ_min, the threshold ladder, s*, and the
-//	    significant family with its FDR certificate.
+//	    significant family with its FDR certificate. -null swap replaces the
+//	    independence null with margin-preserving swap randomization;
+//	    -swap-ppo sets the per-replicate burn-in in proposals per matrix
+//	    occurrence, -swap-proposals overrides it with an absolute count.
 //	sigfim closed -in data.dat -minsup 100 [-top 50]
 //	    Closed itemset mining (LCM-style enumeration).
 //	sigfim rules -in data.dat -minsup 100 [-minconf 0.5] [-beta 0.05] [-top 50]
@@ -142,6 +148,17 @@ func cmdMine(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// parseNull maps a -null flag value onto Config.SwapNull.
+func parseNull(name string) (swap bool, err error) {
+	switch name {
+	case "", "independence":
+		return false, nil
+	case "swap":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown null model %q (want independence or swap)", name)
+}
+
 func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("smin", stderr)
 	in := fs.String("in", "", "input FIMI file")
@@ -151,7 +168,12 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
+	null := fs.String("null", "independence", "null model: independence (swap is rejected — see doc)")
 	if err := parse(fs, args); err != nil {
+		return err
+	}
+	swap, err := parseNull(*null)
+	if err != nil {
 		return err
 	}
 	d, err := load(*in)
@@ -160,6 +182,7 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	}
 	s, err := d.FindSMin(*k, &sigfim.Config{
 		Delta: *delta, Epsilon: *eps, Seed: *seed, Workers: *workers, Algorithm: *algo,
+		SwapNull: swap,
 	})
 	if err != nil {
 		return err
@@ -180,7 +203,14 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
+	null := fs.String("null", "independence", "null model: independence|swap")
+	swapPPO := fs.Int("swap-ppo", 0, "swap null: proposals per matrix occurrence per replicate (0 = 8)")
+	swapProposals := fs.Int("swap-proposals", 0, "swap null: absolute proposals per replicate (overrides -swap-ppo)")
 	if err := parse(fs, args); err != nil {
+		return err
+	}
+	swap, err := parseNull(*null)
+	if err != nil {
 		return err
 	}
 	d, err := load(*in)
@@ -190,11 +220,15 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 	rep, err := d.Significant(*k, &sigfim.Config{
 		Alpha: *alpha, Beta: *beta, Delta: *delta, Seed: *seed,
 		WithBaseline: *baseline, Workers: *workers, Algorithm: *algo,
+		SwapNull: swap, SwapProposalsPerOccurrence: *swapPPO, SwapProposals: *swapProposals,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "k = %d, alpha = %g, beta = %g\n", rep.K, rep.Alpha, rep.Beta)
+	if swap {
+		fmt.Fprintln(stdout, "null model: swap randomization (item supports and transaction lengths preserved)")
+	}
 	fmt.Fprintf(stdout, "s_min = %d (Poisson regime)\n", rep.SMin)
 	fmt.Fprintln(stdout, "threshold ladder:")
 	for _, st := range rep.Steps {

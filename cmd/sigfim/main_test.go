@@ -33,8 +33,12 @@ func TestRunExitCodes(t *testing.T) {
 		{"closed bad path", []string{"closed", "-in", "/no/such/file.dat"}, 1, "no such file", ""},
 		{"rules bad path", []string{"rules", "-in", "/no/such/file.dat"}, 1, "no such file", ""},
 		{"smin bad delta", []string{"smin", "-in", goldenPath, "-delta=-1"}, 1, "Delta", ""},
+		{"smin bad null", []string{"smin", "-in", goldenPath, "-null", "bogus"}, 1, "unknown null model", ""},
+		{"smin rejects swap null", []string{"smin", "-in", goldenPath, "-null", "swap"}, 1, "independence null", ""},
+		{"significant bad null", []string{"significant", "-in", goldenPath, "-null", "bogus"}, 1, "unknown null model", ""},
 		{"mine ok", []string{"mine", "-in", goldenPath, "-minsup", "80", "-k", "2", "-top", "3"}, 0, "", "itemsets with support >= 80"},
 		{"smin ok", []string{"smin", "-in", goldenPath, "-delta", "30", "-seed", "5"}, 0, "", "s_min = "},
+		{"significant swap ok", []string{"significant", "-in", goldenPath, "-delta", "30", "-seed", "5", "-null", "swap", "-swap-ppo", "2", "-top", "0"}, 0, "", "null model: swap randomization"},
 		{"closed ok", []string{"closed", "-in", goldenPath, "-minsup", "100", "-top", "3"}, 0, "", "closed itemsets"},
 	}
 	for _, tc := range cases {

@@ -39,10 +39,11 @@
 // Random support model (paper Section 2). The null hypothesis is a dataset
 // with the same transaction count t and per-item frequencies f_i, items
 // placed independently. internal/randmodel implements it (IndependentModel)
-// along with the alternative swap-randomization null (SwapModel) that
+// along with the alternative swap-randomization null (*SwapModel) that
 // additionally preserves transaction lengths. Exported as
 // Dataset.RandomTwin, Dataset.SwapTwin, GenerateRandom, and — for the
-// significance pipeline — Config.SwapNull.
+// significance pipeline — Config.SwapNull with its chain-length knobs
+// (see "Null models" below).
 //
 // Poisson regime search, s_min (Algorithm 1). Above a threshold s_min the
 // count Q_{k,s} of frequent k-itemsets in a random dataset is approximately
@@ -102,6 +103,46 @@
 // the Monte Carlo loop; a canceled run returns ctx.Err() and never a partial
 // result, so cancellation cannot perturb results that do complete. Config's
 // Progress callback surfaces replicate progress for job status reporting.
+//
+// # Null models
+//
+// Two null models ship with the package, and both are first-class citizens
+// of the replicate engine: each implements randmodel.InPlaceGenerator, so
+// the Monte Carlo loop stays allocation-free in steady state under either.
+//
+//   - Independence (the default; the paper's reference model): item i
+//     appears in each of t transactions independently with its observed
+//     frequency f_i. Item supports are preserved in expectation only, and
+//     transaction lengths vary freely.
+//   - Swap randomization (Config.SwapNull; Gionis et al., KDD 2006): a
+//     Markov chain of margin-preserving 2x2 swaps started at the observed
+//     dataset. Every replicate preserves BOTH the exact item supports and
+//     the exact transaction lengths, so it asks the sharper question of
+//     whether the joint structure is explainable by the margins alone.
+//
+// The swap chain's burn-in is paid per replicate (each replicate restarts
+// the chain from the observed dataset, so replicates are independent):
+// Config.SwapProposalsPerOccurrence sets it relative to the number of ones
+// in the transaction matrix (default 8; Gionis et al. report mixing after a
+// small constant), and Config.SwapProposals, when positive, fixes the
+// absolute per-replicate proposal count instead.
+//
+// The swap null drives Significant and SignificantCtx only. FindSMin is
+// independence-only by contract: it reproduces the paper's published
+// Algorithm 1, whose soundness guarantee is stated for the independence
+// null, and a standalone threshold quoted without its ladder is only
+// interpretable against that reference model — so setting Config.SwapNull
+// makes FindSMin return an error rather than silently answering with an
+// independence-model threshold, and sigfimd maps the same rejection of
+// swap smin jobs to HTTP 400. A swap-null analysis reads its s_min from the
+// Significant report.
+//
+// The sigfimd result cache canonicalizes the null-model configuration into
+// its key as three fields: null_model ("independence" or "swap"), swap_ppo
+// (the per-occurrence burn-in, with the default of 8 filled in), and
+// swap_proposals (the absolute override; when it is set, swap_ppo is zeroed
+// as irrelevant). Under the independence null both swap fields are zeroed,
+// so stray chain knobs never split the cache.
 //
 // # Parallelism and determinism
 //

@@ -341,7 +341,7 @@ func TestAnalyzeWithSwapNullModel(t *testing.T) {
 	a, err := Analyze("swap", v, 2, Options{
 		Delta:     60,
 		Seed:      13,
-		NullModel: randmodel.SwapModel{Base: base, ProposalsPerOccurrence: 4},
+		NullModel: &randmodel.SwapModel{Base: base, ProposalsPerOccurrence: 4},
 	})
 	if err != nil {
 		t.Fatal(err)

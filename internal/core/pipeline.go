@@ -33,8 +33,10 @@ type Options struct {
 	RunProcedure1 bool
 	// NullModel overrides the null model used by Algorithm 1 and the lambda
 	// estimates; nil selects the paper's independence model built from the
-	// dataset's measured profile. Swap randomization (randmodel.SwapModel)
-	// is the natural alternative.
+	// dataset's measured profile. Swap randomization (*randmodel.SwapModel)
+	// is the natural alternative; both shipped models implement the pooled
+	// InPlaceGenerator path, so Algorithm 1's replicate loop stays
+	// allocation-free under either null.
 	NullModel randmodel.Model
 	// Workers bounds the goroutines of every parallel stage: Algorithm 1's
 	// replicate mining and the observed-dataset counting passes. 0 selects

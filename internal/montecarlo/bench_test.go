@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"sigfim/internal/dataset"
 	"sigfim/internal/mining"
 	"sigfim/internal/randmodel"
 	"sigfim/internal/stats"
@@ -116,5 +117,37 @@ func BenchmarkEvaluatorEval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.eval(res.SMin)
+	}
+}
+
+// benchSwapBase is the fixed swap-null base dataset: one independence draw
+// (n=150, t=3000, power-law frequencies) materialized horizontally, ~12k
+// matrix occurrences.
+func benchSwapBase() *dataset.Dataset {
+	z := stats.FitPowerLaw(150, 1e-3, 0.12, 4)
+	im := randmodel.IndependentModel{T: 3000, Freqs: z.Frequencies()}
+	return im.Generate(stats.NewRNG(99)).Horizontal()
+}
+
+// BenchmarkSwapReplicates is the swap-null replicate loop (generate via the
+// swap chain, mine, merge) the in-place generator is measured by: 40
+// replicates at 4 proposals per occurrence, k=2, floor=s-tilde, workers=1.
+// Before the pooled chain scratch this path allocated a full dataset (t
+// membership maps, horizontal + vertical materialization) per replicate; see
+// BENCH_montecarlo.json for the recorded numbers.
+func BenchmarkSwapReplicates(b *testing.B) {
+	m := &randmodel.SwapModel{Base: benchSwapBase(), ProposalsPerOccurrence: 4}
+	root := stats.NewRNG(1)
+	seeds := make([]uint64, 40)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	floor := floorOf(maxExpectedSupport(m, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 2, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,98 @@
+package montecarlo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sigfim/internal/dataset"
+	"sigfim/internal/mining"
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+// Swap-null pooling-determinism tests, the swap counterpart of
+// pooling_test.go: the in-place swap generator (pooled chain scratch +
+// pooled Vertical) must not change FindPoissonThreshold's output by a single
+// bit — for any worker count, against the allocating Generate path, and
+// against the golden values below, which were captured from the pre-refactor
+// implementation (map-based chain, per-replicate materialization) on the
+// same base dataset and seed.
+
+// swapPoolingBase rebuilds the fixed base dataset the goldens were captured
+// on: one independence draw (n=150, t=3000, power-law frequencies, seed 99)
+// materialized horizontally.
+func swapPoolingBase() *dataset.Dataset {
+	z := stats.FitPowerLaw(150, 1e-3, 0.12, 4)
+	im := randmodel.IndependentModel{T: 3000, Freqs: z.Frequencies()}
+	return im.Generate(stats.NewRNG(99)).Horizontal()
+}
+
+// swapPoolingGolden pins the pre-refactor outputs (Delta=50, Epsilon=0.01,
+// Seed=42, Workers=1, algorithm eclat-tids, default chain length).
+var swapPoolingGolden = []struct {
+	k           int
+	sMin        int
+	sTilde      float64
+	floor       int
+	sMax        int
+	numItemsets int
+	curveLen    int
+	lambdaFloor float64
+}{
+	{k: 2, sMin: 42, sTilde: 32.596000, floor: 33, sMax: 45, numItemsets: 5, curveLen: 7, lambdaFloor: 0.880000},
+	{k: 3, sMin: 8, sTilde: 2.390373, floor: 3, sMax: 11, numItemsets: 3879, curveLen: 7, lambdaFloor: 107.920000},
+}
+
+// allocOnlySwap hides GenerateInto from the replicate engine, forcing the
+// pre-refactor allocating fallback path through randmodel.GenerateReusing.
+type allocOnlySwap struct{ m *randmodel.SwapModel }
+
+func (a allocOnlySwap) Generate(r *stats.RNG) *dataset.Vertical { return a.m.Generate(r) }
+func (a allocOnlySwap) NumTransactions() int                    { return a.m.NumTransactions() }
+func (a allocOnlySwap) NumItems() int                           { return a.m.NumItems() }
+func (a allocOnlySwap) ItemFrequencies() []float64              { return a.m.ItemFrequencies() }
+
+func TestFindPoissonThresholdSwapPoolingDeterminism(t *testing.T) {
+	base := swapPoolingBase()
+	workerCounts := []int{1, 4, 8}
+	for _, g := range swapPoolingGolden {
+		m := &randmodel.SwapModel{Base: base}
+		cfg := Config{K: g.k, Delta: 50, Epsilon: 0.01, Seed: 42, Algorithm: mining.EclatTids}
+
+		// The allocating reference run: in-place generation disabled.
+		cfg.Workers = 1
+		ref, err := FindPoissonThreshold(allocOnlySwap{m}, cfg)
+		if err != nil {
+			t.Fatalf("k=%d allocating reference: %v", g.k, err)
+		}
+
+		for _, w := range workerCounts {
+			cfg.Workers = w
+			res, err := FindPoissonThreshold(m, cfg)
+			if err != nil {
+				t.Fatalf("k=%d workers=%d: %v", g.k, w, err)
+			}
+			if res.SMin != g.sMin || res.Floor != g.floor || res.SMax != g.sMax ||
+				res.NumItemsets != g.numItemsets || len(res.Curve) != g.curveLen {
+				t.Fatalf("k=%d workers=%d: got (smin=%d floor=%d smax=%d W=%d curve=%d), want pre-refactor (%d %d %d %d %d)",
+					g.k, w, res.SMin, res.Floor, res.SMax, res.NumItemsets, len(res.Curve),
+					g.sMin, g.floor, g.sMax, g.numItemsets, g.curveLen)
+			}
+			if math.Abs(res.STilde-g.sTilde) > 1e-4 {
+				t.Fatalf("k=%d workers=%d: sTilde %v, want %v", g.k, w, res.STilde, g.sTilde)
+			}
+			if math.Abs(res.Lambda(res.Floor)-g.lambdaFloor) > 1e-4 {
+				t.Fatalf("k=%d workers=%d: Lambda(floor) %v, want %v", g.k, w, res.Lambda(res.Floor), g.lambdaFloor)
+			}
+			// Bit-identical to the allocating path: same curve floats from
+			// the same additions in the same order, same support pool.
+			if !reflect.DeepEqual(res.Curve, ref.Curve) {
+				t.Fatalf("k=%d workers=%d: bound curve differs from the allocating path", g.k, w)
+			}
+			if !reflect.DeepEqual(res.allSupports, ref.allSupports) {
+				t.Fatalf("k=%d workers=%d: lambda support pool differs from the allocating path", g.k, w)
+			}
+		}
+	}
+}

@@ -36,10 +36,9 @@ type Model interface {
 // InPlaceGenerator is the optional pooled-generation interface: GenerateInto
 // refills a caller-owned Vertical, reusing its per-item column backing
 // arrays, so a worker that mines thousands of replicates allocates column
-// storage only while the buffers are still growing. Models whose generation
-// is inherently allocating (e.g. swap randomization, which re-runs a Markov
-// chain over a materialized dataset) simply don't implement it; callers fall
-// back to Generate.
+// storage only while the buffers are still growing. Both shipped null models
+// implement it — IndependentModel directly, *SwapModel through a pooled
+// chain scratch — and models that don't simply fall back to Generate.
 type InPlaceGenerator interface {
 	// GenerateInto draws one dataset into v, which is reshaped via
 	// (*dataset.Vertical).Reuse and must not be shared with a previous
@@ -51,7 +50,9 @@ type InPlaceGenerator interface {
 
 // GenerateReusing draws one dataset from m into v when the model supports
 // in-place generation (returning v), and falls back to m.Generate otherwise.
-// v may be nil, in which case a fresh Vertical is used.
+// v may be nil, in which case a fresh Vertical is used. For a fixed seed the
+// two paths return the same dataset either way — GenerateInto's contract is
+// stream identity with Generate — so pooling never changes results.
 func GenerateReusing(m Model, r *stats.RNG, v *dataset.Vertical) *dataset.Vertical {
 	if ipg, ok := m.(InPlaceGenerator); ok {
 		if v == nil {

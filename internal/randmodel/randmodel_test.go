@@ -267,7 +267,7 @@ func TestSwapActuallyMixes(t *testing.T) {
 func TestSwapModelInterface(t *testing.T) {
 	r := stats.NewRNG(23)
 	d := dataset.MustNew(3, [][]uint32{{0, 1}, {1, 2}, {0, 2}, {0}})
-	var m Model = SwapModel{Base: d}
+	var m Model = &SwapModel{Base: d}
 	v := m.Generate(r)
 	if v.NumTransactions != 4 || m.NumItems() != 3 || m.NumTransactions() != 4 {
 		t.Fatal("SwapModel dims")

@@ -2,6 +2,7 @@ package randmodel
 
 import (
 	"sort"
+	"sync"
 
 	"sigfim/internal/dataset"
 	"sigfim/internal/stats"
@@ -14,7 +15,8 @@ import (
 // reachable this way has exactly the same item supports and transaction
 // lengths as the input; running the chain long enough approximates a uniform
 // draw from that state space. The paper discusses this as the alternative
-// null model of [10]; we ship it as a baseline for cross-model comparisons.
+// null model of [10]; we ship it as a first-class null for the significance
+// pipeline alongside the independence model.
 
 // SwapRandomizer holds the mutable occurrence structures of the chain.
 type SwapRandomizer struct {
@@ -111,28 +113,212 @@ func SwapRandomize(d *dataset.Dataset, proposalsPerOccurrence int, r *stats.RNG)
 }
 
 // SwapModel adapts swap randomization to the Model interface: every Generate
-// re-runs the chain from the reference dataset with a fresh stream.
+// (or GenerateInto) re-runs the chain from the reference dataset with a fresh
+// stream, so replicates are independent approximate draws from the fixed-
+// margin state space. The per-replicate chain length is the model's burn-in:
+// every replicate pays it in full because the chain restarts from Base.
+//
+// SwapModel implements InPlaceGenerator through a shared immutable snapshot
+// of the chain-start state (built once) and a pool of per-worker chain
+// scratches, so the Monte Carlo replicate loop generates swap replicates
+// without per-replicate allocation. Use it by pointer (&SwapModel{...}):
+// the methods have pointer receivers because the model carries the shared
+// once-guarded snapshot and the scratch pool, and must not be copied.
 type SwapModel struct {
 	Base *dataset.Dataset
-	// ProposalsPerOccurrence controls chain length (default 8 when zero).
+	// ProposalsPerOccurrence controls chain length relative to the number of
+	// ones in the matrix (default 8 when zero): each replicate runs
+	// ProposalsPerOccurrence * |occurrences| proposals.
 	ProposalsPerOccurrence int
+	// Proposals, when positive, fixes the absolute number of proposals per
+	// replicate and overrides ProposalsPerOccurrence.
+	Proposals int
+
+	prepOnce sync.Once
+	prep     *swapBase
+	pool     sync.Pool // *swapScratch
 }
 
 // NumTransactions returns t.
-func (m SwapModel) NumTransactions() int { return m.Base.NumTransactions() }
+func (m *SwapModel) NumTransactions() int { return m.Base.NumTransactions() }
 
 // NumItems returns n.
-func (m SwapModel) NumItems() int { return m.Base.NumItems() }
+func (m *SwapModel) NumItems() int { return m.Base.NumItems() }
 
 // ItemFrequencies returns the base dataset's frequencies, which every chain
 // state shares (swaps preserve column margins exactly).
-func (m SwapModel) ItemFrequencies() []float64 { return m.Base.Frequencies() }
+func (m *SwapModel) ItemFrequencies() []float64 { return m.Base.Frequencies() }
 
-// Generate runs a fresh chain and returns the vertical layout.
-func (m SwapModel) Generate(r *stats.RNG) *dataset.Vertical {
+// proposals returns the per-replicate chain length for occ occurrences.
+func (m *SwapModel) proposals(occ int) int {
+	if m.Proposals > 0 {
+		return m.Proposals
+	}
 	ppo := m.ProposalsPerOccurrence
 	if ppo <= 0 {
 		ppo = 8
 	}
-	return SwapRandomize(m.Base, ppo, r).Vertical()
+	return ppo * occ
+}
+
+// Generate runs a fresh chain through the allocating SwapRandomizer and
+// returns the vertical layout. GenerateInto consumes the identical random
+// stream and produces the identical dataset; keeping this independent
+// implementation alive lets the tests cross-check the two against each other.
+func (m *SwapModel) Generate(r *stats.RNG) *dataset.Vertical {
+	sr := NewSwapRandomizer(m.Base)
+	sr.Run(m.proposals(len(sr.occTid)), r)
+	return sr.Dataset().Vertical()
+}
+
+// GenerateInto runs a fresh chain in pooled scratch space and materializes
+// the result into v (reshaped via Reuse, per-item column backing arrays
+// retained). The proposal sequence, the accept/reject decisions, and the
+// resulting dataset are bit-identical to Generate for the same r, so pooled
+// and allocating generation are interchangeable at every worker count.
+func (m *SwapModel) GenerateInto(r *stats.RNG, v *dataset.Vertical) {
+	b := m.prepare()
+	sc, _ := m.pool.Get().(*swapScratch)
+	if sc == nil {
+		sc = &swapScratch{}
+	}
+	sc.reset(b)
+	sc.run(b, m.proposals(len(b.occTid)), r)
+	sc.materialize(b, v)
+	m.pool.Put(sc)
+}
+
+// prepare builds (once) the immutable chain-start snapshot shared by every
+// worker's scratch.
+func (m *SwapModel) prepare() *swapBase {
+	m.prepOnce.Do(func() {
+		d := m.Base
+		t := d.NumTransactions()
+		total := 0
+		for tid := 0; tid < t; tid++ {
+			total += len(d.Transaction(tid))
+		}
+		b := &swapBase{
+			numItems: d.NumItems(),
+			numTx:    t,
+			occTid:   make([]uint32, 0, total),
+			arena:    make([]uint32, 0, total),
+			txOff:    make([]int, t+1),
+		}
+		for tid := 0; tid < t; tid++ {
+			tr := d.Transaction(tid)
+			b.txOff[tid] = len(b.arena)
+			b.arena = append(b.arena, tr...)
+			for range tr {
+				b.occTid = append(b.occTid, uint32(tid))
+			}
+		}
+		b.txOff[t] = len(b.arena)
+		m.prep = b
+	})
+	return m.prep
+}
+
+// swapBase is the immutable chain-start state: the occurrence->transaction
+// map and the flat sorted-transaction arena. Transactions are enumerated in
+// the same (tid, ascending item) order NewSwapRandomizer uses, so occurrence
+// j starts at item arena[j] — the arena doubles as the initial occurrence->
+// item array.
+type swapBase struct {
+	numItems int
+	numTx    int
+	occTid   []uint32 // occurrence -> transaction id (never mutated by the chain)
+	arena    []uint32 // concatenated sorted transactions at the chain start
+	txOff    []int    // transaction t occupies arena[txOff[t]:txOff[t+1]]
+}
+
+// swapScratch is one worker's mutable chain state, reset from the base
+// snapshot with two bulk copies per replicate. Transaction windows stay
+// sorted across swaps (membership tests are binary searches; an applied swap
+// shifts at most one window's worth of items), which also keeps the
+// materialized vertical columns sorted for free: transactions are visited in
+// ascending tid order, so each item's tid list is appended in order.
+type swapScratch struct {
+	occItem []uint32 // occurrence -> item id (chain state)
+	arena   []uint32 // per-transaction sorted item windows (chain state)
+}
+
+// reset restores the scratch to the chain-start state.
+func (sc *swapScratch) reset(b *swapBase) {
+	sc.occItem = append(sc.occItem[:0], b.arena...)
+	sc.arena = append(sc.arena[:0], b.arena...)
+}
+
+// searchU32 returns the first index in w whose value is >= x.
+func searchU32(w []uint32, x uint32) int {
+	lo, hi := 0, len(w)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if w[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// contains reports whether transaction t currently holds item x.
+func (sc *swapScratch) contains(b *swapBase, t uint32, x uint32) bool {
+	w := sc.arena[b.txOff[t]:b.txOff[t+1]]
+	i := searchU32(w, x)
+	return i < len(w) && w[i] == x
+}
+
+// replace swaps item old for item new in transaction t, keeping the window
+// sorted. old must be present and new absent (the chain checks both).
+func (sc *swapScratch) replace(b *swapBase, t uint32, old, new uint32) {
+	w := sc.arena[b.txOff[t]:b.txOff[t+1]]
+	p := searchU32(w, old)
+	q := searchU32(w, new)
+	if q > p {
+		copy(w[p:q-1], w[p+1:q])
+		w[q-1] = new
+	} else {
+		copy(w[q+1:p+1], w[q:p])
+		w[q] = new
+	}
+}
+
+// run executes the Markov chain: the same proposal loop as
+// SwapRandomizer.Step, consuming the identical RNG stream (two Intn draws
+// per proposal, none when fewer than two occurrences exist).
+func (sc *swapScratch) run(b *swapBase, proposals int, r *stats.RNG) {
+	n := len(b.occTid)
+	if n < 2 {
+		return
+	}
+	for p := 0; p < proposals; p++ {
+		a := r.Intn(n)
+		c := r.Intn(n)
+		if a == c {
+			continue
+		}
+		t1, i1 := b.occTid[a], sc.occItem[a]
+		t2, i2 := b.occTid[c], sc.occItem[c]
+		if t1 == t2 || i1 == i2 {
+			continue
+		}
+		if sc.contains(b, t1, i2) || sc.contains(b, t2, i1) {
+			continue
+		}
+		sc.replace(b, t1, i1, i2)
+		sc.replace(b, t2, i2, i1)
+		sc.occItem[a], sc.occItem[c] = i2, i1
+	}
+}
+
+// materialize writes the current chain state into v in vertical layout.
+func (sc *swapScratch) materialize(b *swapBase, v *dataset.Vertical) {
+	v.Reuse(b.numTx, b.numItems)
+	for tid := 0; tid < b.numTx; tid++ {
+		for _, it := range sc.arena[b.txOff[tid]:b.txOff[tid+1]] {
+			v.Tids[it] = append(v.Tids[it], uint32(tid))
+		}
+	}
 }

@@ -60,8 +60,8 @@ type JobRequest struct {
 	K int `json:"k"`
 	// Config carries the full analysis configuration; nil selects the
 	// paper's defaults. Field names follow sigfim.Config (Alpha, Beta,
-	// Epsilon, Delta, Seed, WithBaseline, MaxPatterns, SwapNull, Workers,
-	// Algorithm).
+	// Epsilon, Delta, Seed, WithBaseline, MaxPatterns, SwapNull,
+	// SwapProposalsPerOccurrence, SwapProposals, Workers, Algorithm).
 	Config *sigfim.Config `json:"config,omitempty"`
 }
 
@@ -206,6 +206,9 @@ func (e *Engine) validate(req JobRequest) error {
 		if c.Delta < 0 || c.MaxPatterns < 0 || c.Workers < 0 {
 			return fmt.Errorf("%w: delta, max patterns, and workers must be >= 0", ErrBadRequest)
 		}
+		if c.SwapProposalsPerOccurrence < 0 || c.SwapProposals < 0 {
+			return fmt.Errorf("%w: swap chain lengths must be >= 0", ErrBadRequest)
+		}
 		if c.Alpha < 0 || c.Alpha >= 1 || c.Beta < 0 || c.Beta >= 1 || c.Epsilon < 0 || c.Epsilon >= 1 {
 			return fmt.Errorf("%w: alpha, beta, and epsilon must be in [0, 1) (0 = default)", ErrBadRequest)
 		}
@@ -227,19 +230,36 @@ func (e *Engine) validate(req JobRequest) error {
 // in the key: every algorithm mines identical itemsets, but float-valued
 // report fields (lambda estimates, p-values) can differ in their last bits
 // across algorithms, and the cache contract is bit-identity.
+//
+// The null model canonicalizes to three fields. NullModel is "independence"
+// or "swap" (smin jobs are always "independence": they reject SwapNull at
+// validation). Under the swap null, SwapPPO carries the per-occurrence
+// burn-in with the pipeline's default of 8 filled in, and SwapProposals the
+// absolute override; whichever of the two the pipeline would ignore is
+// zeroed, so a request that spells out a default (or sets a knob its own
+// configuration makes irrelevant) still shares the cache slot of the run it
+// is guaranteed to reproduce.
 type canonicalRequest struct {
-	Kind         string  `json:"kind"`
-	K            int     `json:"k"`
-	Alpha        float64 `json:"alpha"`
-	Beta         float64 `json:"beta"`
-	Epsilon      float64 `json:"epsilon"`
-	Delta        int     `json:"delta"`
-	Seed         uint64  `json:"seed"`
-	WithBaseline bool    `json:"with_baseline"`
-	MaxPatterns  int     `json:"max_patterns"`
-	SwapNull     bool    `json:"swap_null"`
-	Algorithm    string  `json:"algorithm"`
+	Kind          string  `json:"kind"`
+	K             int     `json:"k"`
+	Alpha         float64 `json:"alpha"`
+	Beta          float64 `json:"beta"`
+	Epsilon       float64 `json:"epsilon"`
+	Delta         int     `json:"delta"`
+	Seed          uint64  `json:"seed"`
+	WithBaseline  bool    `json:"with_baseline"`
+	MaxPatterns   int     `json:"max_patterns"`
+	NullModel     string  `json:"null_model"`
+	SwapPPO       int     `json:"swap_ppo"`
+	SwapProposals int     `json:"swap_proposals"`
+	Algorithm     string  `json:"algorithm"`
 }
+
+// Canonical null-model names.
+const (
+	nullIndependence = "independence"
+	nullSwap         = "swap"
+)
 
 // canonicalize builds the canonical form of a validated request.
 func canonicalize(req JobRequest) canonicalRequest {
@@ -253,6 +273,7 @@ func canonicalize(req JobRequest) canonicalRequest {
 		Epsilon:   cfg.Epsilon,
 		Delta:     cfg.Delta,
 		Seed:      cfg.Seed,
+		NullModel: nullIndependence,
 		Algorithm: cfg.Algorithm,
 	}
 	if c.Epsilon == 0 {
@@ -269,7 +290,6 @@ func canonicalize(req JobRequest) canonicalRequest {
 		c.Beta = cfg.Beta
 		c.WithBaseline = cfg.WithBaseline
 		c.MaxPatterns = cfg.MaxPatterns
-		c.SwapNull = cfg.SwapNull
 		if c.Alpha == 0 {
 			c.Alpha = 0.05
 		}
@@ -278,6 +298,19 @@ func canonicalize(req JobRequest) canonicalRequest {
 		}
 		if c.MaxPatterns == 0 {
 			c.MaxPatterns = 100000
+		}
+		if cfg.SwapNull {
+			c.NullModel = nullSwap
+			if cfg.SwapProposals > 0 {
+				// An absolute chain length overrides the per-occurrence
+				// knob, so the latter cannot influence the result.
+				c.SwapProposals = cfg.SwapProposals
+			} else {
+				c.SwapPPO = cfg.SwapProposalsPerOccurrence
+				if c.SwapPPO == 0 {
+					c.SwapPPO = 8
+				}
+			}
 		}
 	}
 	return c

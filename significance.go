@@ -33,9 +33,24 @@ type Config struct {
 	MaxPatterns int
 	// SwapNull replaces the independence null model with swap randomization
 	// (preserving transaction lengths as well as item frequencies) — the
-	// alternative null the paper's Section 1.1 anticipates. Considerably
-	// slower: every Monte Carlo replicate re-runs the swap chain.
+	// alternative null the paper's Section 1.1 anticipates. Every Monte
+	// Carlo replicate re-runs the swap chain from the observed dataset in
+	// pooled per-worker scratch space, so the replicate loop stays
+	// allocation-free; the chain itself still costs O(proposals) per
+	// replicate on top of mining. Supported by Significant only: FindSMin
+	// rejects it (see FindSMin).
 	SwapNull bool
+	// SwapProposalsPerOccurrence sets the swap chain's burn-in per replicate
+	// relative to the number of ones in the transaction matrix: each
+	// replicate runs SwapProposalsPerOccurrence * |occurrences| swap
+	// proposals before the randomized dataset is mined (default 8 when zero;
+	// Gionis et al. report mixing after a small constant). Ignored unless
+	// SwapNull is set.
+	SwapProposalsPerOccurrence int
+	// SwapProposals, when positive, fixes the absolute number of swap
+	// proposals per replicate and overrides SwapProposalsPerOccurrence.
+	// Ignored unless SwapNull is set.
+	SwapProposals int
 	// Workers bounds the goroutines of every parallel stage (Monte Carlo
 	// replicate mining, observed-dataset counting, pattern materialization):
 	// 0 uses every CPU, 1 forces serial execution. For a fixed Seed the
@@ -146,7 +161,11 @@ func (ds *Dataset) SignificantCtx(ctx context.Context, k int, cfg *Config) (*Rep
 		return nil, err
 	}
 	if cfg != nil && cfg.SwapNull {
-		opts.NullModel = randmodel.SwapModel{Base: ds.d}
+		opts.NullModel = &randmodel.SwapModel{
+			Base:                   ds.d,
+			ProposalsPerOccurrence: cfg.SwapProposalsPerOccurrence,
+			Proposals:              cfg.SwapProposals,
+		}
 	}
 	a, err := core.AnalyzeCtx(ctx, "dataset", ds.vertical(), k, opts)
 	if err != nil {
@@ -198,8 +217,16 @@ func (ds *Dataset) SignificantCtx(ctx context.Context, k int, cfg *Config) (*Rep
 	return rep, nil
 }
 
-// FindSMin runs Algorithm 1 alone against the dataset's null model and
+// FindSMin runs Algorithm 1 alone against the independence null model and
 // returns the estimated Poisson threshold ŝ_min for size-k itemsets.
+//
+// FindSMin is independence-only by contract: it reproduces the paper's
+// published Algorithm 1, whose soundness guarantee (Theorem 4) is stated for
+// the independence null, and a standalone threshold quoted without its
+// ladder is only interpretable against that reference model. Setting
+// Config.SwapNull is therefore rejected with an error rather than silently
+// answered with an independence-model threshold — a swap-null analysis gets
+// its ŝ_min (and the ladder that makes it meaningful) from Significant.
 func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
 	return ds.FindSMinCtx(context.Background(), k, cfg)
 }
@@ -207,6 +234,9 @@ func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
 // FindSMinCtx is FindSMin with cooperative cancellation; see SignificantCtx
 // for the cancellation contract.
 func (ds *Dataset) FindSMinCtx(ctx context.Context, k int, cfg *Config) (int, error) {
+	if cfg != nil && cfg.SwapNull {
+		return 0, fmt.Errorf("sigfim: FindSMin supports only the independence null (Config.SwapNull must be false); run Significant for a swap-null analysis")
+	}
 	opts, err := cfg.withDefaults()
 	if err != nil {
 		return 0, err

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sigfim/internal/client"
+	"sigfim/internal/service"
+)
+
+// defaultServer resolves the sigfimd base URL: $SIGFIM_SERVER when set,
+// otherwise the sigfimd default listen address.
+func defaultServer() string {
+	if s := os.Getenv("SIGFIM_SERVER"); s != "" {
+		return s
+	}
+	return "http://127.0.0.1:8080"
+}
+
+// cmdJobs implements "sigfim jobs <list|get|watch>", a status client for a
+// running sigfimd: list shows every job the server tracks, get prints one
+// job's full status (result included) as JSON, and watch consumes the
+// server's SSE stream, rendering a live progress line until the job ends.
+func cmdJobs(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		jobsUsage(stderr)
+		return usageError{fmt.Errorf("missing jobs subcommand")}
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "-h", "--help", "help":
+		jobsUsage(stderr)
+		return nil
+	case "list":
+		return jobsList(rest, stdout, stderr)
+	case "get":
+		return jobsGet(rest, stdout, stderr)
+	case "watch":
+		return jobsWatch(rest, stdout, stderr)
+	}
+	fmt.Fprintf(stderr, "sigfim jobs: unknown subcommand %q\n", sub)
+	jobsUsage(stderr)
+	return usageError{fmt.Errorf("unknown jobs subcommand %q", sub)}
+}
+
+func jobsUsage(w io.Writer) {
+	fmt.Fprintln(w, `usage: sigfim jobs <list|get|watch> [-server URL] [job-id]
+  list   list the server's jobs in submission order
+  get    print one job's full status (result included) as JSON
+  watch  stream a job's progress live (SSE) until it finishes
+-server defaults to $SIGFIM_SERVER, then http://127.0.0.1:8080`)
+}
+
+// jobDuration renders how long a job ran (or has been running).
+func jobDuration(st service.JobStatus) string {
+	switch {
+	case st.StartedAt == nil:
+		return "-"
+	case st.FinishedAt == nil:
+		return time.Since(*st.StartedAt).Round(time.Millisecond).String()
+	default:
+		return st.FinishedAt.Sub(*st.StartedAt).Round(time.Millisecond).String()
+	}
+}
+
+func jobsList(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("jobs list", stderr)
+	server := fs.String("server", defaultServer(), "sigfimd base URL")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	jobs, err := client.New(*server, nil).Jobs(context.Background())
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(stdout, "no jobs")
+		return nil
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tSTATE\tKIND\tK\tDATASET\tPROGRESS\tCACHE\tDURATION")
+	for _, j := range jobs {
+		cache := ""
+		if j.CacheHit {
+			cache = "hit"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%d/%d\t%s\t%s\n",
+			j.ID, j.State, j.Kind, j.K, j.Dataset,
+			j.Progress.Done, j.Progress.Total, cache, jobDuration(j))
+	}
+	return tw.Flush()
+}
+
+func jobsGet(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("jobs get", stderr)
+	server := fs.String("server", defaultServer(), "sigfimd base URL")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return fmt.Errorf("missing job id (usage: sigfim jobs get [-server URL] JOB)")
+	}
+	st, err := client.New(*server, nil).Job(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+func jobsWatch(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("jobs watch", stderr)
+	server := fs.String("server", defaultServer(), "sigfimd base URL")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return fmt.Errorf("missing job id (usage: sigfim jobs watch [-server URL] JOB)")
+	}
+	final, err := client.New(*server, nil).Watch(context.Background(), id, func(ev service.JobEvent) {
+		st := ev.Status
+		if p := st.Progress; p.Total > 0 {
+			fmt.Fprintf(stdout, "\r%s %-8s %d/%d (%3.0f%%)", st.ID, st.State,
+				p.Done, p.Total, 100*float64(p.Done)/float64(p.Total))
+		} else {
+			fmt.Fprintf(stdout, "\r%s %-8s", st.ID, st.State)
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(stdout)
+		return err
+	}
+	dur := ""
+	if final.StartedAt != nil && final.FinishedAt != nil {
+		dur = " in " + final.FinishedAt.Sub(*final.StartedAt).Round(time.Millisecond).String()
+	}
+	fmt.Fprintf(stdout, "\r%s %s %d/%d%s\n",
+		final.ID, final.State, final.Progress.Done, final.Progress.Total, dur)
+	if final.State != service.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	return nil
+}

@@ -25,6 +25,10 @@
 //	sigfim rules -in data.dat -minsup 100 [-minconf 0.5] [-beta 0.05] [-top 50]
 //	    Association rules with exact Binomial and Fisher p-values;
 //	    -beta selects the Benjamini-Yekutieli-significant subset.
+//	sigfim jobs <list|get|watch> [-server URL] [job-id]
+//	    Client for a running sigfimd: list jobs, fetch one job's status and
+//	    result, or watch a job's live progress over its SSE event stream.
+//	    -server defaults to $SIGFIM_SERVER, then http://127.0.0.1:8080.
 //
 // Errors go to stderr with a non-zero exit status: 2 for usage errors (bad
 // flags, unknown subcommands), 1 for runtime failures (unreadable input,
@@ -58,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"significant": cmdSignificant,
 		"closed":      cmdClosed,
 		"rules":       cmdRules,
+		"jobs":        cmdJobs,
 	}
 	name := args[0]
 	switch name {
@@ -109,7 +114,7 @@ func parse(fs *flag.FlagSet, args []string) error {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: sigfim <mine|smin|significant|closed|rules> [flags]
+	fmt.Fprintln(w, `usage: sigfim <mine|smin|significant|closed|rules|jobs> [flags]
 run "sigfim <subcommand> -h" for flags`)
 }
 

@@ -2,8 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"sigfim"
+	"sigfim/internal/service"
 )
 
 const goldenPath = "../../testdata/golden_input.dat"
@@ -40,6 +49,12 @@ func TestRunExitCodes(t *testing.T) {
 		{"smin ok", []string{"smin", "-in", goldenPath, "-delta", "30", "-seed", "5"}, 0, "", "s_min = "},
 		{"significant swap ok", []string{"significant", "-in", goldenPath, "-delta", "30", "-seed", "5", "-null", "swap", "-swap-ppo", "2", "-top", "0"}, 0, "", "null model: swap randomization"},
 		{"closed ok", []string{"closed", "-in", goldenPath, "-minsup", "100", "-top", "3"}, 0, "", "closed itemsets"},
+		{"jobs no subcommand", []string{"jobs"}, 2, "usage: sigfim jobs", ""},
+		{"jobs unknown subcommand", []string{"jobs", "transmogrify"}, 2, "unknown subcommand", ""},
+		{"jobs help", []string{"jobs", "help"}, 0, "usage: sigfim jobs", ""},
+		{"jobs get missing id", []string{"jobs", "get", "-server", "http://127.0.0.1:1"}, 1, "missing job id", ""},
+		{"jobs watch missing id", []string{"jobs", "watch", "-server", "http://127.0.0.1:1"}, 1, "missing job id", ""},
+		{"jobs list unreachable", []string{"jobs", "list", "-server", "http://127.0.0.1:1"}, 1, "connection refused", ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -59,5 +74,85 @@ func TestRunExitCodes(t *testing.T) {
 				t.Error("non-zero exit with empty stderr")
 			}
 		})
+	}
+}
+
+// TestJobsSubcommandE2E drives "sigfim jobs list/get/watch" against a real
+// in-process sigfimd: watch must follow a job to completion over SSE, get
+// must print the full status JSON (result included), and list must render
+// the job's row without result payloads.
+func TestJobsSubcommandE2E(t *testing.T) {
+	srv := service.New(service.Options{
+		Workers: 1, QueueCap: 4,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if _, err := srv.Registry().RegisterFile("golden", goldenPath); err != nil {
+		t.Fatalf("register golden: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	// No jobs yet: list says so.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"jobs", "list", "-server", ts.URL}, &stdout, &stderr); code != 0 {
+		t.Fatalf("jobs list: exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no jobs") {
+		t.Fatalf("empty listing = %q, want 'no jobs'", stdout.String())
+	}
+
+	st, err := srv.Engine().Submit(service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 4000, Seed: 12},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"jobs", "watch", "-server", ts.URL, st.ID}, &stdout, &stderr); code != 0 {
+		t.Fatalf("jobs watch: exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, st.ID) || !strings.Contains(out, "done") {
+		t.Fatalf("watch output %q lacks the job id and terminal state", out)
+	}
+	if !strings.Contains(stdout.String(), "4000/4000") {
+		t.Fatalf("watch output %q lacks final progress 4000/4000", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"jobs", "get", "-server", ts.URL, st.ID}, &stdout, &stderr); code != 0 {
+		t.Fatalf("jobs get: exit %d, stderr %s", code, stderr.String())
+	}
+	var got service.JobStatus
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("jobs get output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if got.ID != st.ID || got.State != service.StateDone || len(got.Result) == 0 {
+		t.Fatalf("jobs get = %s/%s with %d result bytes; want done with result", got.ID, got.State, len(got.Result))
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"jobs", "list", "-server", ts.URL}, &stdout, &stderr); code != 0 {
+		t.Fatalf("jobs list: exit %d, stderr %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, st.ID) || !strings.Contains(out, "done") || !strings.Contains(out, "4000/4000") {
+		t.Fatalf("listing %q lacks the finished job's row", out)
+	}
+
+	// Unknown job: exit 1 with the server's error on stderr.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"jobs", "get", "-server", ts.URL, "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("jobs get nope: exit %d, want 1", code)
 	}
 }

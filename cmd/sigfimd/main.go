@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sigfimd [-addr :8080] [-data name=path]... [-workers N] [-queue N]
-//	        [-cache N] [-max-upload BYTES]
+//	        [-cache N] [-max-upload BYTES] [-metrics=false]
 //
 // Each -data flag registers one FIMI file (gzip detected transparently)
 // under a name before the server starts listening. Quickstart:
@@ -16,7 +16,13 @@
 //	curl -X POST localhost:8080/v1/jobs \
 //	     -d '{"dataset":"golden","kind":"significant","k":2,"config":{"Delta":120,"Seed":9}}'
 //	curl localhost:8080/v1/jobs/j000001          # poll status/progress/result
+//	curl localhost:8080/v1/jobs/j000001/events   # live SSE progress stream
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/metrics                  # Prometheus text format
+//
+// -metrics=false leaves GET /metrics unrouted (the other endpoints are
+// unaffected). "sigfim jobs watch JOB" renders the SSE stream as a live
+// progress line.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests and
 // running jobs are drained (up to a timeout), queued jobs are canceled.
@@ -73,6 +79,7 @@ func run(args []string, stderr io.Writer) int {
 	queue := fs.Int("queue", 64, "job queue capacity (backpressure bound)")
 	cacheSize := fs.Int("cache", 256, "result cache entries (negative disables)")
 	maxUpload := fs.Int64("max-upload", 1<<30, "max dataset upload size in bytes")
+	metricsOn := fs.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	var data dataFlags
 	fs.Var(&data, "data", "register dataset as name=path (repeatable)")
@@ -89,6 +96,7 @@ func run(args []string, stderr io.Writer) int {
 		QueueCap:       *queue,
 		CacheSize:      *cacheSize,
 		MaxUploadBytes: *maxUpload,
+		DisableMetrics: !*metricsOn,
 		Logger:         logger,
 	})
 	for _, e := range data {

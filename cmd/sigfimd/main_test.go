@@ -19,6 +19,8 @@ func TestRunErrorPaths(t *testing.T) {
 	}{
 		{"bad flag", []string{"-bogus"}, 2, "flag provided but not defined"},
 		{"flag help", []string{"-h"}, 0, "-data"},
+		{"metrics flag documented", []string{"-h"}, 0, "-metrics"},
+		{"bad metrics value", []string{"-metrics=maybe"}, 2, "invalid boolean value"},
 		{"malformed data flag", []string{"-data", "justaname"}, 2, "want name=path"},
 		{"empty data name", []string{"-data", "=path"}, 2, "want name=path"},
 		{"unreadable dataset", []string{"-data", "x=/no/such/file.dat"}, 1, "no such file"},

@@ -104,6 +104,20 @@
 // result, so cancellation cannot perturb results that do complete. Config's
 // Progress callback surfaces replicate progress for job status reporting.
 //
+// The service is observable on three surfaces. GET /metrics renders a
+// dependency-free Prometheus text exposition (job counters by kind and
+// terminal state, queue depth, in-flight gauge, cache hit/miss/entry
+// counters, total replicates merged, and per-kind fixed-bucket job-duration
+// histograms that observe computed jobs only). GET /v1/jobs/{id}/events
+// streams one job's lifecycle as Server-Sent Events: "state" frames for
+// every transition (the terminal frame carries the result, matching
+// GET /v1/jobs/{id} exactly) and "progress" frames coalesced to at most one
+// per 100ms per subscriber, so a stalled client can neither miss a terminal
+// state nor back-pressure the engine. internal/client wraps the whole HTTP
+// API, including an SSE watcher, and backs the "sigfim jobs" subcommand
+// (list, get, watch). Instrumentation never touches result bytes: the
+// determinism and cache bit-identity contracts are unaffected.
+//
 // # Null models
 //
 // Two null models ship with the package, and both are first-class citizens

@@ -1,0 +1,180 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sigfim"
+	"sigfim/internal/client"
+	"sigfim/internal/service"
+)
+
+const goldenPath = "../../testdata/golden_input.dat"
+
+// newServer boots a real service on an httptest listener with the golden
+// dataset registered and returns a client pointed at it.
+func newServer(t *testing.T) *client.Client {
+	t.Helper()
+	srv := service.New(service.Options{
+		Workers: 2, QueueCap: 8, CacheSize: 8,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if _, err := srv.Registry().RegisterFile("golden", goldenPath); err != nil {
+		t.Fatalf("register golden: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return client.New(ts.URL+"/", nil) // trailing slash: New must normalize
+}
+
+func TestClientRoundTrips(t *testing.T) {
+	cl := newServer(t)
+	ctx := context.Background()
+
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	ds, err := cl.Datasets(ctx)
+	if err != nil || len(ds) != 1 || ds[0].Name != "golden" {
+		t.Fatalf("datasets = %+v, %v; want [golden]", ds, err)
+	}
+
+	st, err := cl.Submit(ctx, service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 25, Seed: 4},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if st, err = cl.Job(ctx, st.ID); err != nil {
+			t.Fatalf("get job: %v", err)
+		}
+	}
+	if st.State != service.StateDone || len(st.Result) == 0 {
+		t.Fatalf("job ended %s (error %q) with %d result bytes", st.State, st.Error, len(st.Result))
+	}
+
+	jobs, err := cl.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs = %d entries, %v; want 1", len(jobs), err)
+	}
+	if len(jobs[0].Result) != 0 {
+		t.Fatal("listing embeds result bytes")
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil || stats.Jobs.Completed != 1 {
+		t.Fatalf("stats = %+v, %v; want 1 completed", stats, err)
+	}
+
+	// Error path: the {"error": ...} envelope must surface in the message.
+	if _, err := cl.Job(ctx, "nope"); err == nil {
+		t.Fatal("fetching an unknown job did not error")
+	}
+}
+
+// TestClientWatch is the SSE end-to-end: watch a real long job from
+// submission to completion and assert the terminal frame matches what
+// GET /v1/jobs/{id} returns, result bytes included.
+func TestClientWatch(t *testing.T) {
+	cl := newServer(t)
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 30000, Seed: 6},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	var events []service.JobEvent
+	final, err := cl.Watch(ctx, st.ID, func(ev service.JobEvent) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("watch ended %s (error %q), want done", final.State, final.Error)
+	}
+	if final.Progress.Done != 30000 || final.Progress.Total != 30000 {
+		t.Fatalf("final progress %d/%d, want 30000/30000", final.Progress.Done, final.Progress.Total)
+	}
+	if len(events) == 0 || events[len(events)-1].Type != service.EventState {
+		t.Fatalf("callback saw %d events; the last must be the terminal state frame", len(events))
+	}
+	// Progress frames, when present, must be monotone (coalescing keeps the
+	// latest, never replays an older snapshot).
+	last := -1
+	for _, ev := range events {
+		if ev.Type != service.EventProgress {
+			continue
+		}
+		if ev.Status.Progress.Done < last {
+			t.Fatalf("progress went backwards: %d after %d", ev.Status.Progress.Done, last)
+		}
+		last = ev.Status.Progress.Done
+	}
+
+	polled, err := cl.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("get job: %v", err)
+	}
+	if final.State != polled.State || final.Progress != polled.Progress {
+		t.Fatalf("terminal frame %+v differs from GET %+v", final, polled)
+	}
+	if !bytes.Equal(compact(t, final.Result), compact(t, polled.Result)) {
+		t.Fatal("terminal frame result differs from GET /v1/jobs/{id}")
+	}
+}
+
+// TestClientWatchCancel asserts a canceled watch context surfaces as an
+// error rather than hanging.
+func TestClientWatchCancel(t *testing.T) {
+	cl := newServer(t)
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 200000, Seed: 8},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	watchCtx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Watch(watchCtx, st.ID, nil); err == nil {
+		t.Fatal("watch with expired context returned no error")
+	}
+	if _, err := cl.Cancel(ctx, st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+}
+
+func compact(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Event types of the job event stream (GET /v1/jobs/{id}/events).
+const (
+	// EventState marks a lifecycle transition. The stream's first frame is
+	// always a state frame carrying the job's current status, and the stream
+	// ends after the terminal state frame, which (for done jobs) carries the
+	// result — the final frame matches GET /v1/jobs/{id}.
+	EventState = "state"
+	// EventProgress carries a replicate-progress snapshot of a running job.
+	// Progress frames are coalesced: the engine publishes one per merged
+	// replicate, but each subscriber is delivered at most one per
+	// progressInterval, always the latest.
+	EventProgress = "progress"
+)
+
+// progressInterval is the minimum spacing between progress frames delivered
+// to one subscriber. State frames are never delayed or coalesced.
+const progressInterval = 100 * time.Millisecond
+
+// JobEvent is one frame of a job's event stream: the SSE event name plus the
+// status snapshot it carries.
+type JobEvent struct {
+	Type   string    `json:"type"`
+	Status JobStatus `json:"status"`
+}
+
+// subscription is one watcher's coalescing mailbox. Lifecycle frames queue
+// in order and are never dropped; progress frames collapse into a single
+// latest-wins slot, which is what bounds a subscription's memory no matter
+// how fast replicates merge or how slow the client reads.
+type subscription struct {
+	notify chan struct{} // buffered(1) wake-up; coalesces signals too
+
+	mu       sync.Mutex
+	states   []JobEvent
+	progress *JobEvent
+}
+
+func (s *subscription) push(ev JobEvent) {
+	s.mu.Lock()
+	if ev.Type == EventProgress {
+		s.progress = &ev
+	} else {
+		s.states = append(s.states, ev)
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+}
+
+// takeStates removes and returns the pending lifecycle frames, in order.
+func (s *subscription) takeStates() []JobEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs := s.states
+	s.states = nil
+	return evs
+}
+
+// takeProgress removes and returns the latest pending progress frame.
+func (s *subscription) takeProgress() (JobEvent, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.progress == nil {
+		return JobEvent{}, false
+	}
+	ev := *s.progress
+	s.progress = nil
+	return ev, true
+}
+
+// eventBus fans job events out to per-job subscribers. It is deliberately
+// small: the engine is the only publisher, the SSE handler the only
+// subscriber, and publishing to a job nobody watches is close to free (one
+// RLock and a map probe), so the per-replicate progress hook can publish
+// unconditionally.
+type eventBus struct {
+	mu   sync.RWMutex
+	subs map[string]map[*subscription]struct{} // job id -> watchers
+}
+
+func newEventBus() *eventBus {
+	return &eventBus{subs: make(map[string]map[*subscription]struct{})}
+}
+
+// subscribe registers a watcher for a job id (the job need not exist yet or
+// still; the caller validates against the engine separately).
+func (b *eventBus) subscribe(jobID string) *subscription {
+	sub := &subscription{notify: make(chan struct{}, 1)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := b.subs[jobID]
+	if set == nil {
+		set = make(map[*subscription]struct{})
+		b.subs[jobID] = set
+	}
+	set[sub] = struct{}{}
+	return sub
+}
+
+// unsubscribe removes a watcher, dropping the job's fan-out set when empty.
+func (b *eventBus) unsubscribe(jobID string, sub *subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := b.subs[jobID]
+	delete(set, sub)
+	if len(set) == 0 {
+		delete(b.subs, jobID)
+	}
+}
+
+// hasSubscribers is the publish fast path: the engine's per-replicate
+// progress hook skips building a status snapshot when nobody is watching.
+func (b *eventBus) hasSubscribers(jobID string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs[jobID]) > 0
+}
+
+// publish delivers an event to every watcher of the job. push never blocks,
+// so a stalled subscriber cannot back-pressure the engine.
+func (b *eventBus) publish(jobID string, ev JobEvent) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for sub := range b.subs[jobID] {
+		sub.push(ev)
+	}
+}

@@ -50,6 +50,11 @@ const (
 	StateCanceled JobState = "canceled"
 )
 
+// Terminal reports whether the state is final: done, failed, or canceled.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
 // JobRequest is the body of POST /v1/jobs.
 type JobRequest struct {
 	// Dataset names a registered dataset.
@@ -143,6 +148,8 @@ type Engine struct {
 	cache     *ResultCache
 	queue     chan *job
 	retention int
+	metrics   *Metrics
+	events    *eventBus
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -179,6 +186,8 @@ func NewEngine(registry *Registry, cache *ResultCache, workers, queueCap, retent
 		cache:     cache,
 		queue:     make(chan *job, queueCap),
 		retention: retention,
+		metrics:   NewMetrics(),
+		events:    newEventBus(),
 		jobs:      make(map[string]*job),
 	}
 	e.wg.Add(workers)
@@ -187,6 +196,9 @@ func NewEngine(registry *Registry, cache *ResultCache, workers, queueCap, retent
 	}
 	return e
 }
+
+// Metrics returns the engine's metrics registry.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
 
 // validate checks a request before it is admitted, so queued jobs can only
 // fail for runtime reasons, never for malformed parameters.
@@ -339,7 +351,8 @@ func (e *Engine) Submit(req JobRequest) (JobStatus, error) {
 	if !ok {
 		return JobStatus{}, fmt.Errorf("%w: dataset %q is not registered", ErrNotFound, req.Dataset)
 	}
-	key := cacheKeyFor(info.Hash, canonicalize(req))
+	canon := canonicalize(req)
+	key := cacheKeyFor(info.Hash, canon)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -362,12 +375,18 @@ func (e *Engine) Submit(req JobRequest) (JobStatus, error) {
 		j.cacheHit = true
 		j.result = cached
 		j.finishedAt = j.createdAt
+		// A cache hit is a completed run: report the same terminal progress a
+		// computed job ends with (all Delta replicates merged), so watchers
+		// and dashboards never see a done job stuck at 0/0.
+		j.progressDone.Store(int64(canon.Delta))
+		j.progressTotal.Store(int64(canon.Delta))
 		e.cacheHits.Add(1)
 		e.completed.Add(1)
+		e.metrics.jobFinished(j.req.Kind, StateDone, 0, false)
 		e.jobs[j.id] = j
 		e.order = append(e.order, j.id)
 		e.evictLocked()
-		return e.statusLocked(j), nil
+		return e.statusLocked(j, true), nil
 	}
 
 	select {
@@ -381,7 +400,10 @@ func (e *Engine) Submit(req JobRequest) (JobStatus, error) {
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	e.evictLocked()
-	return e.statusLocked(j), nil
+	// No event is published here: the id was allocated under the lock just
+	// now, so no watcher can be subscribed yet — the SSE handler's initial
+	// snapshot is what covers the queued state.
+	return e.statusLocked(j, true), nil
 }
 
 // evictLocked drops the oldest terminal job records until at most retention
@@ -433,18 +455,30 @@ func (e *Engine) run(j *job) {
 	j.state = StateRunning
 	j.startedAt = time.Now().UTC()
 	j.cancel = cancel
+	running := e.statusLocked(j, false)
 	e.mu.Unlock()
 	e.queued.Add(-1)
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
+	e.events.publish(j.id, JobEvent{Type: EventState, Status: running})
 
 	var cfg sigfim.Config
 	if j.req.Config != nil {
 		cfg = *j.req.Config // copy: the engine attaches its own Progress
 	}
 	cfg.Progress = func(done, total int) {
-		j.progressDone.Store(int64(done))
+		d := int64(done)
+		prev := j.progressDone.Swap(d)
 		j.progressTotal.Store(int64(total))
+		// Replicate throughput: count the merges since the last callback. An
+		// internal restart (s-tilde halving) resets done below prev; the new
+		// pass's first callback then contributes its own count.
+		if delta := d - prev; delta > 0 {
+			e.metrics.addReplicates(delta)
+		} else if d > 0 {
+			e.metrics.addReplicates(d)
+		}
+		e.publishProgress(j)
 	}
 
 	var payload any
@@ -466,7 +500,6 @@ func (e *Engine) run(j *job) {
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	j.finishedAt = time.Now().UTC()
 	j.cancel = nil
 	switch {
@@ -486,6 +519,35 @@ func (e *Engine) run(j *job) {
 		j.errMsg = err.Error()
 		e.failed.Add(1)
 	}
+	final := e.statusLocked(j, true)
+	e.mu.Unlock()
+	e.metrics.jobFinished(j.req.Kind, final.State, j.finishedAt.Sub(j.startedAt), true)
+	e.events.publish(j.id, JobEvent{Type: EventState, Status: final})
+}
+
+// publishProgress emits a coalescable progress frame for a running job. It
+// is called from the pipeline's merge goroutine once per replicate, so the
+// no-subscriber fast path matters; the fields read here are either atomics
+// or were written before the pipeline started.
+func (e *Engine) publishProgress(j *job) {
+	if !e.events.hasSubscribers(j.id) {
+		return
+	}
+	started := j.startedAt
+	e.events.publish(j.id, JobEvent{Type: EventProgress, Status: JobStatus{
+		ID:          j.id,
+		State:       StateRunning,
+		Dataset:     j.req.Dataset,
+		DatasetHash: j.dsHash,
+		Kind:        j.req.Kind,
+		K:           j.req.K,
+		Progress: Progress{
+			Done:  int(j.progressDone.Load()),
+			Total: int(j.progressTotal.Load()),
+		},
+		CreatedAt: j.createdAt,
+		StartedAt: &started,
+	}})
 }
 
 // Get returns the status of a job.
@@ -496,7 +558,22 @@ func (e *Engine) Get(id string) (JobStatus, error) {
 	if !ok {
 		return JobStatus{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
 	}
-	return e.statusLocked(j), nil
+	return e.statusLocked(j, true), nil
+}
+
+// Watch subscribes to a job's event stream, returning the job's current
+// status (the stream's mandatory first frame) together with the
+// subscription and its cancel function. Subscribing happens before the
+// status read, so no transition can fall between the snapshot and the
+// stream.
+func (e *Engine) Watch(id string) (JobStatus, *subscription, func(), error) {
+	sub := e.events.subscribe(id)
+	st, err := e.Get(id)
+	if err != nil {
+		e.events.unsubscribe(id, sub)
+		return JobStatus{}, nil, nil, err
+	}
+	return st, sub, func() { e.events.unsubscribe(id, sub) }, nil
 }
 
 // Cancel requests cancellation of a job. Queued jobs are canceled
@@ -505,11 +582,12 @@ func (e *Engine) Get(id string) (JobStatus, error) {
 // that returns its final status.
 func (e *Engine) Cancel(id string) (JobStatus, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	j, ok := e.jobs[id]
 	if !ok {
+		e.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
 	}
+	canceledNow := false
 	switch j.state {
 	case StateQueued:
 		j.state = StateCanceled
@@ -517,21 +595,31 @@ func (e *Engine) Cancel(id string) (JobStatus, error) {
 		j.finishedAt = time.Now().UTC()
 		e.queued.Add(-1)
 		e.canceled.Add(1)
+		canceledNow = true
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel() // state transition happens in run when the pipeline unwinds
 		}
 	}
-	return e.statusLocked(j), nil
+	st := e.statusLocked(j, true)
+	e.mu.Unlock()
+	if canceledNow {
+		e.metrics.jobFinished(j.req.Kind, StateCanceled, 0, false)
+		e.events.publish(j.id, JobEvent{Type: EventState, Status: st})
+	}
+	return st, nil
 }
 
-// List returns the status of every job in submission order.
+// List returns the status of every job in submission order. Listings omit
+// the jobs' result bytes: with retention at its default of 1024 done jobs,
+// embedding every stored Result would make the listing payload unbounded in
+// practice — results are served by Get (one job) and by the result cache.
 func (e *Engine) List() []JobStatus {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]JobStatus, 0, len(e.order))
 	for _, id := range e.order {
-		out = append(out, e.statusLocked(e.jobs[id]))
+		out = append(out, e.statusLocked(e.jobs[id], false))
 	}
 	return out
 }
@@ -549,8 +637,11 @@ func (e *Engine) Counters() EngineCounters {
 	}
 }
 
-// statusLocked builds the public view of a job; callers hold e.mu.
-func (e *Engine) statusLocked(j *job) JobStatus {
+// statusLocked builds the public view of a job; callers hold e.mu. The
+// result bytes are attached only when includeResult is set (and the job is
+// done): single-job reads and terminal event frames carry the result, while
+// listings stay bounded by omitting it.
+func (e *Engine) statusLocked(j *job, includeResult bool) JobStatus {
 	st := JobStatus{
 		ID:          j.id,
 		State:       j.state,
@@ -574,7 +665,7 @@ func (e *Engine) statusLocked(j *job) JobStatus {
 		t := j.finishedAt
 		st.FinishedAt = &t
 	}
-	if j.state == StateDone {
+	if j.state == StateDone && includeResult {
 		st.Result = j.result
 	}
 	return st
@@ -602,14 +693,22 @@ drain:
 		select {
 		case j := <-e.queue:
 			e.mu.Lock()
+			drained := false
+			var st JobStatus
 			if j.state == StateQueued {
 				j.state = StateCanceled
 				j.errMsg = "canceled: server shutting down"
 				j.finishedAt = time.Now().UTC()
 				e.queued.Add(-1)
 				e.canceled.Add(1)
+				st = e.statusLocked(j, true)
+				drained = true
 			}
 			e.mu.Unlock()
+			if drained {
+				e.metrics.jobFinished(j.req.Kind, StateCanceled, 0, false)
+				e.events.publish(j.id, JobEvent{Type: EventState, Status: st})
+			}
 		default:
 			break drain
 		}

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// durationBuckets are the upper bounds, in seconds, of the fixed-bucket
+// job-duration histograms. They span the service's real spread: a tiny-Delta
+// smin probe finishes in milliseconds while a full significant analysis of a
+// large dataset runs for minutes. Fixed buckets keep observation allocation-
+// free and make renders trivially mergeable across processes.
+var durationBuckets = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. Buckets hold per-bucket (non-cumulative) counts; the render
+// accumulates them into Prometheus's cumulative le-bucket form.
+type histogram struct {
+	counts   []atomic.Int64 // len(durationBuckets)+1; the last is +Inf
+	sumNanos atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(durationBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	// SearchFloat64s returns the first bucket whose upper bound is >= the
+	// observation, which is exactly Prometheus's le semantics; a value above
+	// every bound lands in the trailing +Inf bucket.
+	i := sort.SearchFloat64s(durationBuckets, d.Seconds())
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// kindMetrics are the per-job-kind counters and the latency histogram.
+type kindMetrics struct {
+	done     atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+	duration *histogram // computed (non-cache-hit) jobs that ended done
+}
+
+// Metrics is the service's dependency-free metrics registry: atomic counters
+// and gauges plus fixed-bucket latency histograms per job kind, rendered in
+// the Prometheus text exposition format by WritePrometheus. The engine owns
+// one (Engine.Metrics) and instruments it from Submit, run, and the
+// replicate-progress hook; values that already live elsewhere as atomics
+// (queue depth, in-flight, cache hits) are snapshotted at render time rather
+// than double-counted. Instrumentation never touches result bytes, so the
+// service's bit-identity contracts are unaffected.
+type Metrics struct {
+	replicates atomic.Int64    // Monte Carlo replicates merged, all jobs
+	httpByCode [6]atomic.Int64 // responses by status class; index = code/100
+
+	mu    sync.RWMutex
+	kinds map[string]*kindMetrics
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{kinds: make(map[string]*kindMetrics)}
+}
+
+// kind returns the per-kind slot, creating it on first use.
+func (m *Metrics) kind(kind string) *kindMetrics {
+	m.mu.RLock()
+	km := m.kinds[kind]
+	m.mu.RUnlock()
+	if km != nil {
+		return km
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if km = m.kinds[kind]; km == nil {
+		km = &kindMetrics{duration: newHistogram()}
+		m.kinds[kind] = km
+	}
+	return km
+}
+
+// jobFinished records one terminal job. The latency histogram observes only
+// computed jobs that ended done: cache hits are synchronous (their ~0s would
+// drown the real latency signal) and canceled/failed runs measure when the
+// job was interrupted, not how long the work takes.
+func (m *Metrics) jobFinished(kind string, state JobState, d time.Duration, computed bool) {
+	km := m.kind(kind)
+	switch state {
+	case StateDone:
+		km.done.Add(1)
+		if computed {
+			km.duration.observe(d)
+		}
+	case StateFailed:
+		km.failed.Add(1)
+	case StateCanceled:
+		km.canceled.Add(1)
+	}
+}
+
+// addReplicates advances the replicate-throughput counter.
+func (m *Metrics) addReplicates(n int64) {
+	if n > 0 {
+		m.replicates.Add(n)
+	}
+}
+
+// observeHTTP counts one finished HTTP response by status class.
+func (m *Metrics) observeHTTP(status int) {
+	if c := status / 100; c >= 1 && c < len(m.httpByCode) {
+		m.httpByCode[c].Add(1)
+	}
+}
+
+// metricsSnapshot carries the point-in-time values that live outside the
+// registry — engine counters, cache counters, registry size, uptime — so the
+// render is one consistent pass.
+type metricsSnapshot struct {
+	uptimeSeconds          float64
+	datasets               int
+	jobs                   EngineCounters
+	cacheHits, cacheMisses uint64
+	cacheEntries           int
+}
+
+// fnum renders a float the way Prometheus expects: shortest exact form.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every metric family in the Prometheus text
+// exposition format (version 0.0.4). Families and label sets are emitted in
+// a deterministic order so scrapes diff cleanly.
+func (m *Metrics) WritePrometheus(w io.Writer, snap metricsSnapshot) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP sigfimd_uptime_seconds Seconds since the server started.\n")
+	p("# TYPE sigfimd_uptime_seconds gauge\n")
+	p("sigfimd_uptime_seconds %s\n", fnum(snap.uptimeSeconds))
+
+	p("# HELP sigfimd_datasets Registered datasets.\n")
+	p("# TYPE sigfimd_datasets gauge\n")
+	p("sigfimd_datasets %d\n", snap.datasets)
+
+	p("# HELP sigfimd_jobs_submitted_total Jobs accepted by the engine (cache hits included, rejected submissions excluded).\n")
+	p("# TYPE sigfimd_jobs_submitted_total counter\n")
+	p("sigfimd_jobs_submitted_total %d\n", snap.jobs.Submitted)
+
+	p("# HELP sigfimd_jobs_queued Jobs waiting in the bounded queue (queue depth).\n")
+	p("# TYPE sigfimd_jobs_queued gauge\n")
+	p("sigfimd_jobs_queued %d\n", snap.jobs.Queued)
+
+	p("# HELP sigfimd_jobs_in_flight Jobs currently executing on the worker pool.\n")
+	p("# TYPE sigfimd_jobs_in_flight gauge\n")
+	p("sigfimd_jobs_in_flight %d\n", snap.jobs.InFlight)
+
+	m.mu.RLock()
+	kinds := make([]string, 0, len(m.kinds))
+	for k := range m.kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	byKind := make([]*kindMetrics, len(kinds))
+	for i, k := range kinds {
+		byKind[i] = m.kinds[k]
+	}
+	m.mu.RUnlock()
+
+	p("# HELP sigfimd_jobs_finished_total Jobs by kind and terminal state (done includes cache hits).\n")
+	p("# TYPE sigfimd_jobs_finished_total counter\n")
+	for i, k := range kinds {
+		km := byKind[i]
+		p("sigfimd_jobs_finished_total{kind=%q,state=\"done\"} %d\n", k, km.done.Load())
+		p("sigfimd_jobs_finished_total{kind=%q,state=\"failed\"} %d\n", k, km.failed.Load())
+		p("sigfimd_jobs_finished_total{kind=%q,state=\"canceled\"} %d\n", k, km.canceled.Load())
+	}
+
+	p("# HELP sigfimd_cache_hits_total Result cache hits.\n")
+	p("# TYPE sigfimd_cache_hits_total counter\n")
+	p("sigfimd_cache_hits_total %d\n", snap.cacheHits)
+
+	p("# HELP sigfimd_cache_misses_total Result cache misses.\n")
+	p("# TYPE sigfimd_cache_misses_total counter\n")
+	p("sigfimd_cache_misses_total %d\n", snap.cacheMisses)
+
+	p("# HELP sigfimd_cache_entries Results currently cached.\n")
+	p("# TYPE sigfimd_cache_entries gauge\n")
+	p("sigfimd_cache_entries %d\n", snap.cacheEntries)
+
+	p("# HELP sigfimd_replicates_total Monte Carlo replicates merged across all jobs (replicate throughput).\n")
+	p("# TYPE sigfimd_replicates_total counter\n")
+	p("sigfimd_replicates_total %d\n", m.replicates.Load())
+
+	p("# HELP sigfimd_job_duration_seconds Wall-clock duration of computed jobs that ended done, by kind (cache hits excluded).\n")
+	p("# TYPE sigfimd_job_duration_seconds histogram\n")
+	for i, k := range kinds {
+		h := byKind[i].duration
+		var cum int64
+		for b, le := range durationBuckets {
+			cum += h.counts[b].Load()
+			p("sigfimd_job_duration_seconds_bucket{kind=%q,le=%q} %d\n", k, fnum(le), cum)
+		}
+		cum += h.counts[len(durationBuckets)].Load()
+		p("sigfimd_job_duration_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k, cum)
+		p("sigfimd_job_duration_seconds_sum{kind=%q} %s\n", k, fnum(float64(h.sumNanos.Load())/1e9))
+		p("sigfimd_job_duration_seconds_count{kind=%q} %d\n", k, cum)
+	}
+
+	p("# HELP sigfimd_http_requests_total HTTP responses by status class.\n")
+	p("# TYPE sigfimd_http_requests_total counter\n")
+	for c := 1; c < len(m.httpByCode); c++ {
+		p("sigfimd_http_requests_total{class=\"%dxx\"} %d\n", c, m.httpByCode[c].Load())
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// nonFlusher is a ResponseWriter that does not implement http.Flusher.
+type nonFlusher struct{ http.ResponseWriter }
+
+// TestStatusRecorderFlush asserts the logging wrapper forwards Flush to the
+// underlying writer (httptest.ResponseRecorder implements http.Flusher and
+// records the call) and is a safe no-op when the underlying writer cannot
+// flush. Without the forward, wrapping a handler in logged would hide the
+// Flusher and silently buffer SSE streams.
+func TestStatusRecorderFlush(t *testing.T) {
+	rr := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: rr, status: http.StatusOK}
+	var _ http.Flusher = rec // the wrapper itself must satisfy Flusher
+	rec.Flush()
+	if !rr.Flushed {
+		t.Fatal("Flush did not reach the underlying ResponseWriter")
+	}
+
+	plain := &statusRecorder{ResponseWriter: nonFlusher{httptest.NewRecorder()}}
+	plain.Flush() // must not panic
+
+	if rec.Unwrap() != http.ResponseWriter(rr) {
+		t.Fatal("Unwrap does not expose the underlying writer")
+	}
+}
+
+// TestSubscriptionCoalescing pins the mailbox contract: state frames queue
+// in order and are never dropped, progress frames collapse into a single
+// latest-wins slot.
+func TestSubscriptionCoalescing(t *testing.T) {
+	sub := &subscription{notify: make(chan struct{}, 1)}
+
+	progress := func(done int) JobEvent {
+		return JobEvent{Type: EventProgress, Status: JobStatus{Progress: Progress{Done: done, Total: 100}}}
+	}
+	state := func(s JobState) JobEvent {
+		return JobEvent{Type: EventState, Status: JobStatus{State: s}}
+	}
+
+	for i := 1; i <= 50; i++ {
+		sub.push(progress(i))
+	}
+	sub.push(state(StateRunning))
+	sub.push(state(StateDone))
+
+	if ev, ok := sub.takeProgress(); !ok || ev.Status.Progress.Done != 50 {
+		t.Fatalf("takeProgress = %+v, %v; want latest (done=50)", ev, ok)
+	}
+	if _, ok := sub.takeProgress(); ok {
+		t.Fatal("second takeProgress returned a frame; the slot must drain")
+	}
+
+	states := sub.takeStates()
+	if len(states) != 2 || states[0].Status.State != StateRunning || states[1].Status.State != StateDone {
+		t.Fatalf("takeStates = %+v; want [running done] in order", states)
+	}
+	if got := sub.takeStates(); len(got) != 0 {
+		t.Fatalf("second takeStates returned %d frames", len(got))
+	}
+
+	select {
+	case <-sub.notify:
+	default:
+		t.Fatal("push left no pending wake-up")
+	}
+}
+
+// TestEventBusFanout covers subscribe/publish/unsubscribe and the
+// hasSubscribers fast path the per-replicate progress hook relies on.
+func TestEventBusFanout(t *testing.T) {
+	bus := newEventBus()
+	if bus.hasSubscribers("j1") {
+		t.Fatal("fresh bus claims subscribers")
+	}
+	bus.publish("j1", JobEvent{Type: EventState}) // no subscribers: must not panic
+
+	a := bus.subscribe("j1")
+	b := bus.subscribe("j1")
+	other := bus.subscribe("j2")
+	if !bus.hasSubscribers("j1") || !bus.hasSubscribers("j2") {
+		t.Fatal("hasSubscribers misses registered watchers")
+	}
+
+	bus.publish("j1", JobEvent{Type: EventState, Status: JobStatus{State: StateRunning}})
+	for _, sub := range []*subscription{a, b} {
+		if got := sub.takeStates(); len(got) != 1 || got[0].Status.State != StateRunning {
+			t.Fatalf("subscriber got %+v, want one running frame", got)
+		}
+	}
+	if got := other.takeStates(); len(got) != 0 {
+		t.Fatalf("j2 watcher received j1 events: %+v", got)
+	}
+
+	bus.unsubscribe("j1", a)
+	bus.unsubscribe("j1", b)
+	if bus.hasSubscribers("j1") {
+		t.Fatal("unsubscribe left phantom watchers")
+	}
+	bus.publish("j1", JobEvent{Type: EventProgress})
+	if _, ok := a.takeProgress(); ok {
+		t.Fatal("publish reached an unsubscribed watcher")
+	}
+}
+
+// TestHistogramRender pins the Prometheus exposition of the duration
+// histogram: cumulative buckets, a +Inf bucket equal to the count, and a sum
+// in seconds.
+func TestHistogramRender(t *testing.T) {
+	m := NewMetrics()
+	m.jobFinished(KindSMin, StateDone, 30*time.Millisecond, true)
+	m.jobFinished(KindSMin, StateDone, 70*time.Millisecond, true)
+	m.jobFinished(KindSMin, StateDone, 2*time.Second, true)
+	m.jobFinished(KindSMin, StateDone, 0, false)          // cache hit: counted, not observed
+	m.jobFinished(KindSMin, StateFailed, time.Hour, true) // failed: not observed
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb, metricsSnapshot{})
+	out := sb.String()
+
+	for _, want := range []string{
+		`sigfimd_jobs_finished_total{kind="smin",state="done"} 4`,
+		`sigfimd_jobs_finished_total{kind="smin",state="failed"} 1`,
+		`sigfimd_job_duration_seconds_bucket{kind="smin",le="0.025"} 0`,
+		`sigfimd_job_duration_seconds_bucket{kind="smin",le="0.05"} 1`,
+		`sigfimd_job_duration_seconds_bucket{kind="smin",le="0.1"} 2`,
+		`sigfimd_job_duration_seconds_bucket{kind="smin",le="2.5"} 3`,
+		`sigfimd_job_duration_seconds_bucket{kind="smin",le="+Inf"} 3`,
+		`sigfimd_job_duration_seconds_sum{kind="smin"} 2.1`,
+		`sigfimd_job_duration_seconds_count{kind="smin"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition lacks %q\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBucketEdges asserts le-bucket semantics: an observation equal
+// to a boundary lands in that bucket (le is <=), and observations beyond the
+// largest boundary land only in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	m := NewMetrics()
+	m.jobFinished("x", StateDone, 10*time.Millisecond, true) // exactly le="0.01"
+	m.jobFinished("x", StateDone, 301*time.Second, true)     // beyond 300: +Inf only
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb, metricsSnapshot{})
+	out := sb.String()
+	for _, want := range []string{
+		`sigfimd_job_duration_seconds_bucket{kind="x",le="0.01"} 1`,
+		`sigfimd_job_duration_seconds_bucket{kind="x",le="300"} 1`,
+		`sigfimd_job_duration_seconds_bucket{kind="x",le="+Inf"} 2`,
+		`sigfimd_job_duration_seconds_count{kind="x"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition lacks %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sigfim"
+	"sigfim/internal/service"
+)
+
+// scrapeMetrics fetches /metrics and parses the Prometheus text format into
+// a map keyed by the full sample name, labels included (e.g.
+// `sigfimd_jobs_finished_total{kind="smin",state="done"}`). It also returns
+// the raw body and asserts the version-0.0.4 content type.
+func scrapeMetrics(t *testing.T, base string) (map[string]float64, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type %q lacks version=0.0.4", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples, body
+}
+
+// TestSubmitJobTooLarge asserts the 413 contract: a body that trips the
+// 1 MiB MaxBytesReader must surface as 413 Request Entity Too Large, not as
+// a generic 400 (the decode error wraps *http.MaxBytesError, and the handler
+// must keep that chain intact for errors.As).
+func TestSubmitJobTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4})
+
+	// A valid JSON prefix forces the decoder to keep reading value bytes
+	// until the MaxBytesReader trips, rather than failing on syntax first.
+	body := `{"dataset":"` + strings.Repeat("a", 2<<20)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: status %d, want %d",
+			resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
+// TestJobListingOmitsResult asserts the listing contract: GET /v1/jobs never
+// embeds result payloads (the listing would otherwise grow with the sum of
+// all completed results), while GET /v1/jobs/{id} still returns them.
+func TestJobListingOmitsResult(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4})
+
+	st, _ := submit(t, ts, service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 20, Seed: 3},
+	})
+	waitState(t, ts, st.ID, service.StateDone)
+
+	var single service.JobStatus
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, nil, &single); code != http.StatusOK {
+		t.Fatalf("GET job: status %d", code)
+	}
+	if len(single.Result) == 0 {
+		t.Fatal("GET /v1/jobs/{id} on a done job returned no result")
+	}
+
+	var listing struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil, &listing); code != http.StatusOK {
+		t.Fatalf("GET jobs: status %d", code)
+	}
+	if len(listing.Jobs) != 1 {
+		t.Fatalf("listing has %d jobs, want 1", len(listing.Jobs))
+	}
+	if got := listing.Jobs[0]; len(got.Result) != 0 {
+		t.Fatalf("listing embeds %d result bytes for job %s; listings must omit results", len(got.Result), got.ID)
+	}
+	if listing.Jobs[0].State != service.StateDone {
+		t.Fatalf("listing state %s, want done", listing.Jobs[0].State)
+	}
+}
+
+// TestCacheHitProgress asserts that a job completed from the result cache
+// reports the same terminal progress a computed run would (Delta/Delta), not
+// the misleading 0/0 of a job that never ran.
+func TestCacheHitProgress(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4, CacheSize: 8})
+
+	req := service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 30, Seed: 5},
+	}
+	first, _ := submit(t, ts, req)
+	done := waitState(t, ts, first.ID, service.StateDone)
+	if done.Progress.Done != 30 || done.Progress.Total != 30 {
+		t.Fatalf("computed job progress %d/%d, want 30/30", done.Progress.Done, done.Progress.Total)
+	}
+
+	second, code := submit(t, ts, req)
+	if code != http.StatusOK || !second.CacheHit || second.State != service.StateDone {
+		t.Fatalf("resubmit: code %d, cache_hit %v, state %s; want 200/true/done",
+			code, second.CacheHit, second.State)
+	}
+	if second.Progress.Done != 30 || second.Progress.Total != 30 {
+		t.Fatalf("cache-hit job progress %d/%d, want 30/30 to match the computed run",
+			second.Progress.Done, second.Progress.Total)
+	}
+}
+
+// TestMetricsEndpoint exercises GET /metrics end to end: counters must be
+// present, monotonic across job submissions, and the per-kind duration
+// histogram must be internally consistent (cumulative buckets, +Inf == count).
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4, CacheSize: 8})
+
+	before, _ := scrapeMetrics(t, ts.URL)
+	if v := before["sigfimd_jobs_submitted_total"]; v != 0 {
+		t.Fatalf("fresh server reports %g submitted jobs", v)
+	}
+	if v := before["sigfimd_datasets"]; v != 1 {
+		t.Fatalf("sigfimd_datasets = %g, want 1", v)
+	}
+
+	req := service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 40, Seed: 7},
+	}
+	st, _ := submit(t, ts, req)
+	waitState(t, ts, st.ID, service.StateDone)
+	// Same request again: served from cache, still counted as submitted+done.
+	if hit, code := submit(t, ts, req); code != http.StatusOK || !hit.CacheHit {
+		t.Fatalf("resubmit: code %d cache_hit %v, want cache hit", code, hit.CacheHit)
+	}
+
+	after, body := scrapeMetrics(t, ts.URL)
+	if v := after["sigfimd_jobs_submitted_total"]; v != 2 {
+		t.Fatalf("sigfimd_jobs_submitted_total = %g, want 2", v)
+	}
+	doneKey := `sigfimd_jobs_finished_total{kind="smin",state="done"}`
+	if v := after[doneKey]; v != 2 {
+		t.Fatalf("%s = %g, want 2 (computed + cache hit)\n%s", doneKey, v, body)
+	}
+	if v := after["sigfimd_cache_hits_total"]; v != 1 {
+		t.Fatalf("sigfimd_cache_hits_total = %g, want 1", v)
+	}
+	if v := after["sigfimd_cache_misses_total"]; v != 1 {
+		t.Fatalf("sigfimd_cache_misses_total = %g, want 1", v)
+	}
+	if v := after["sigfimd_cache_entries"]; v != 1 {
+		t.Fatalf("sigfimd_cache_entries = %g, want 1", v)
+	}
+	if v := after["sigfimd_replicates_total"]; v < 40 {
+		t.Fatalf("sigfimd_replicates_total = %g, want >= 40 (Delta)", v)
+	}
+	if v := after["sigfimd_uptime_seconds"]; v < 0 {
+		t.Fatalf("sigfimd_uptime_seconds = %g, want >= 0", v)
+	}
+
+	// The duration histogram observes computed jobs only: count 1, not 2.
+	countKey := `sigfimd_job_duration_seconds_count{kind="smin"}`
+	if v := after[countKey]; v != 1 {
+		t.Fatalf("%s = %g, want 1 (cache hits are not observed)\n%s", countKey, v, body)
+	}
+	if v := after[`sigfimd_job_duration_seconds_sum{kind="smin"}`]; v < 0 {
+		t.Fatalf("histogram sum %g is negative", v)
+	}
+	infKey := `sigfimd_job_duration_seconds_bucket{kind="smin",le="+Inf"}`
+	if after[infKey] != after[countKey] {
+		t.Fatalf("+Inf bucket %g != count %g", after[infKey], after[countKey])
+	}
+	// Buckets are cumulative: in order of appearance they never decrease.
+	prev := -1.0
+	seen := 0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, `sigfimd_job_duration_seconds_bucket{kind="smin"`) {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series decreases at %q (%g < %g)", line, v, prev)
+		}
+		prev = v
+		seen++
+	}
+	if seen < 2 {
+		t.Fatalf("found %d histogram buckets, want several", seen)
+	}
+
+	// HTTP request counters: everything this test did was 2xx.
+	if v := after[`sigfimd_http_requests_total{class="2xx"}`]; v < 4 {
+		t.Fatalf(`sigfimd_http_requests_total{class="2xx"} = %g, want >= 4`, v)
+	}
+}
+
+// TestDisableMetrics asserts Options.DisableMetrics leaves /metrics unrouted
+// while the rest of the API keeps working.
+func TestDisableMetrics(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4, DisableMetrics: true})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics with DisableMetrics: status %d, want 404", resp.StatusCode)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+}
+
+// TestJobEventsNotFound asserts the SSE endpoint 404s for unknown jobs.
+func TestJobEventsNotFound(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4})
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events for unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobEventsTerminalJob asserts that watching an already-finished job
+// yields exactly one state frame carrying the final status, then EOF.
+func TestJobEventsTerminalJob(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4})
+
+	st, _ := submit(t, ts, service.JobRequest{
+		Dataset: "golden", Kind: service.KindSMin, K: 2,
+		Config: &sigfim.Config{Delta: 20, Seed: 11},
+	})
+	final := waitState(t, ts, st.ID, service.StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("events content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if !strings.HasPrefix(raw, "event: state\n") {
+		t.Fatalf("stream does not open with a state frame:\n%s", raw)
+	}
+	data := strings.TrimPrefix(strings.SplitN(raw, "\n", 3)[1], "data: ")
+	var got service.JobStatus
+	if err := json.Unmarshal([]byte(data), &got); err != nil {
+		t.Fatalf("decode state frame: %v", err)
+	}
+	if got.State != service.StateDone || got.ID != final.ID {
+		t.Fatalf("terminal frame = %s/%s, want %s/done", got.ID, got.State, final.ID)
+	}
+	if !bytes.Equal(compactJSON(t, got.Result), compactJSON(t, final.Result)) {
+		t.Fatal("terminal frame result differs from GET /v1/jobs/{id}")
+	}
+}
+
+func compactJSON(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compact %q: %v", raw, err)
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsHTTPClassCounting asserts 4xx responses land in the 4xx class.
+func TestMetricsHTTPClassCounting(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Workers: 1, QueueCap: 4})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/missing%d", ts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	samples, _ := scrapeMetrics(t, ts.URL)
+	if v := samples[`sigfimd_http_requests_total{class="4xx"}`]; v != 3 {
+		t.Fatalf(`4xx class = %g, want 3`, v)
+	}
+}

@@ -10,14 +10,16 @@
 // HTTP surface (all bodies JSON unless noted):
 //
 //	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus text exposition (see Metrics)
 //	GET    /v1/stats             jobs run, cache hits, in-flight, uptime
 //	GET    /v1/datasets          list registered datasets
 //	POST   /v1/datasets?name=N   register a dataset from a FIMI body
 //	                             (gzip detected transparently)
 //	GET    /v1/datasets/{name}   one dataset's info
-//	GET    /v1/jobs              list jobs in submission order
+//	GET    /v1/jobs              list jobs in submission order (no results)
 //	POST   /v1/jobs              submit an analysis job (JobRequest)
 //	GET    /v1/jobs/{id}         job status / progress / result
+//	GET    /v1/jobs/{id}/events  live job stream (Server-Sent Events)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 package service
 
@@ -26,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"time"
@@ -49,6 +52,9 @@ type Options struct {
 	// MaxUploadBytes bounds POST /v1/datasets request bodies
 	// (default 1 GiB).
 	MaxUploadBytes int64
+	// DisableMetrics leaves GET /metrics unrouted. Instrumentation itself is
+	// always on (it is a handful of atomics); this only hides the endpoint.
+	DisableMetrics bool
 	// Logger receives structured request and lifecycle logs; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -82,6 +88,7 @@ type Server struct {
 	registry  *Registry
 	cache     *ResultCache
 	engine    *Engine
+	metrics   *Metrics
 	log       *slog.Logger
 	maxUpload int64
 	startedAt time.Time
@@ -101,8 +108,12 @@ func New(opts Options) *Server {
 		maxUpload: opts.MaxUploadBytes,
 		startedAt: time.Now().UTC(),
 	}
+	s.metrics = s.engine.Metrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if !opts.DisableMetrics {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
@@ -110,10 +121,14 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.handler = s.logged(mux)
 	return s
 }
+
+// Metrics returns the server's metrics registry (shared with the engine).
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Registry exposes the dataset registry for startup registration.
 func (s *Server) Registry() *Registry { return s.registry }
@@ -147,12 +162,27 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// logged wraps a handler with structured request logging.
+// Flush forwards to the wrapped writer so streamed responses (the SSE job
+// stream) reach the client as they are produced; without this the wrapper
+// would hide the underlying http.Flusher and buffer the whole stream until
+// the handler returns.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// logged wraps a handler with structured request logging and the HTTP
+// response counter.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
+		s.metrics.observeHTTP(rec.status)
 		s.log.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -263,7 +293,10 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		// Wrap, don't flatten: writeError needs the errors.As chain intact to
+		// map an oversized body (*http.MaxBytesError) to 413 like the dataset
+		// upload path, instead of a misleading 400.
+		writeError(w, fmt.Errorf("%w: %w", ErrBadRequest, err))
 		return
 	}
 	st, err := s.engine.Submit(req)
@@ -294,4 +327,92 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Counters()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, metricsSnapshot{
+		uptimeSeconds: time.Since(s.startedAt).Seconds(),
+		datasets:      s.registry.Len(),
+		jobs:          s.engine.Counters(),
+		cacheHits:     hits,
+		cacheMisses:   misses,
+		cacheEntries:  s.cache.Len(),
+	})
+}
+
+// handleJobEvents serves GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream of one job's lifecycle. The first frame is always an EventState
+// frame with the job's current status; afterwards every state transition
+// streams as it happens and replicate progress streams as EventProgress
+// frames coalesced to at most one per progressInterval. The stream ends
+// after the terminal state frame, whose payload matches GET /v1/jobs/{id}
+// (for done jobs it carries the result bytes).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	st, sub, cancel, err := s.engine.Watch(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, fmt.Errorf("connection does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	if !writeEvent(w, flusher, JobEvent{Type: EventState, Status: st}) || st.State.Terminal() {
+		return
+	}
+	progress := time.NewTicker(progressInterval)
+	defer progress.Stop()
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.notify:
+			// State frames flush immediately; pending progress is left for
+			// the ticker (a terminal frame supersedes it anyway).
+			for _, ev := range sub.takeStates() {
+				if !writeEvent(w, flusher, ev) || ev.Status.State.Terminal() {
+					return
+				}
+			}
+		case <-progress.C:
+			if ev, ok := sub.takeProgress(); ok {
+				if !writeEvent(w, flusher, ev) {
+					return
+				}
+			}
+		case <-heartbeat.C:
+			// Comment frame: keeps idle connections (and the proxies between)
+			// alive without touching the event schema.
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeEvent writes one SSE frame — event name plus the status snapshot as
+// compact JSON — and flushes it; it reports whether the client is still
+// there.
+func writeEvent(w io.Writer, flusher http.Flusher, ev JobEvent) bool {
+	data, err := json.Marshal(ev.Status)
+	if err != nil {
+		return false
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+		return false
+	}
+	flusher.Flush()
+	return true
 }

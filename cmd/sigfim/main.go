@@ -7,7 +7,7 @@
 //	sigfim mine -in data.dat -minsup 100 [-k 2] [-algo auto|eclat|eclat-bits|apriori|fpgrowth] [-workers N] [-top 50]
 //	    Classical frequent itemset mining.
 //	sigfim smin -in data.dat -k 2 [-delta 1000] [-eps 0.01] [-seed 1]
-//	    [-algo fpgrowth] [-workers N]
+//	    [-algo fpgrowth] [-workers N] [-workers-remote URL,URL]
 //	    Algorithm 1: estimate the Poisson threshold ŝ_min of the dataset's
 //	    independence null model. (-null swap is rejected: the standalone
 //	    threshold is defined against the paper's independence null; use
@@ -15,13 +15,18 @@
 //	sigfim significant -in data.dat -k 2 [-alpha 0.05] [-beta 0.05]
 //	    [-delta 1000] [-baseline] [-algo fpgrowth] [-workers N] [-top 50]
 //	    [-null independence|swap] [-swap-ppo 8] [-swap-proposals N]
+//	    [-workers-remote URL,URL]
 //	    The full methodology: ŝ_min, the threshold ladder, s*, and the
 //	    significant family with its FDR certificate. -null swap replaces the
 //	    independence null with margin-preserving swap randomization;
 //	    -swap-ppo sets the per-replicate burn-in in proposals per matrix
 //	    occurrence, -swap-proposals overrides it with an absolute count.
-//	sigfim closed -in data.dat -minsup 100 [-top 50]
-//	    Closed itemset mining (LCM-style enumeration).
+//	    -workers-remote shards the Monte Carlo replicates across running
+//	    sigfimd instances that have the same dataset registered (matched by
+//	    content hash); the result is bit-identical to a local run.
+//	sigfim closed -in data.dat -minsup 100 [-maximal] [-top 50]
+//	    Closed itemset mining (LCM-style enumeration); -maximal mines
+//	    maximal itemsets (no frequent strict superset) instead.
 //	sigfim rules -in data.dat -minsup 100 [-minconf 0.5] [-beta 0.05] [-top 50]
 //	    Association rules with exact Binomial and Fisher p-values;
 //	    -beta selects the Benjamini-Yekutieli-significant subset.
@@ -40,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sigfim"
 )
@@ -153,6 +159,18 @@ func cmdMine(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// splitWorkers parses a comma-separated -workers-remote list, dropping empty
+// entries so "" means no remote workers.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 // parseNull maps a -null flag value onto Config.SwapNull.
 func parseNull(name string) (swap bool, err error) {
 	switch name {
@@ -174,6 +192,7 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = serial)")
 	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
 	null := fs.String("null", "independence", "null model: independence (swap is rejected — see doc)")
+	remote := fs.String("workers-remote", "", "comma-separated sigfimd worker URLs to shard replicates across")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -187,7 +206,7 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	}
 	s, err := d.FindSMin(*k, &sigfim.Config{
 		Delta: *delta, Epsilon: *eps, Seed: *seed, Workers: *workers, Algorithm: *algo,
-		SwapNull: swap,
+		SwapNull: swap, RemoteWorkers: splitWorkers(*remote),
 	})
 	if err != nil {
 		return err
@@ -211,6 +230,7 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 	null := fs.String("null", "independence", "null model: independence|swap")
 	swapPPO := fs.Int("swap-ppo", 0, "swap null: proposals per matrix occurrence per replicate (0 = 8)")
 	swapProposals := fs.Int("swap-proposals", 0, "swap null: absolute proposals per replicate (overrides -swap-ppo)")
+	remote := fs.String("workers-remote", "", "comma-separated sigfimd worker URLs to shard replicates across")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -226,6 +246,7 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 		Alpha: *alpha, Beta: *beta, Delta: *delta, Seed: *seed,
 		WithBaseline: *baseline, Workers: *workers, Algorithm: *algo,
 		SwapNull: swap, SwapProposalsPerOccurrence: *swapPPO, SwapProposals: *swapProposals,
+		RemoteWorkers: splitWorkers(*remote),
 	})
 	if err != nil {
 		return err
@@ -258,6 +279,7 @@ func cmdClosed(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("closed", stderr)
 	in := fs.String("in", "", "input FIMI file")
 	minsup := fs.Int("minsup", 0, "absolute support threshold")
+	maximal := fs.Bool("maximal", false, "mine maximal itemsets (no frequent strict superset) instead of closed")
 	top := fs.Int("top", 50, "print at most this many itemsets (0 = all)")
 	if err := parse(fs, args); err != nil {
 		return err
@@ -265,6 +287,12 @@ func cmdClosed(args []string, stdout, stderr io.Writer) error {
 	d, err := load(*in)
 	if err != nil {
 		return err
+	}
+	if *maximal {
+		ps := d.MaximalItemsets(*minsup)
+		fmt.Fprintf(stdout, "%d maximal itemsets with support >= %d\n", len(ps), *minsup)
+		printPatterns(stdout, ps, *top)
+		return nil
 	}
 	ps := d.ClosedItemsets(*minsup)
 	fmt.Fprintf(stdout, "%d closed itemsets with support >= %d\n", len(ps), *minsup)

@@ -49,6 +49,9 @@ func TestRunExitCodes(t *testing.T) {
 		{"smin ok", []string{"smin", "-in", goldenPath, "-delta", "30", "-seed", "5"}, 0, "", "s_min = "},
 		{"significant swap ok", []string{"significant", "-in", goldenPath, "-delta", "30", "-seed", "5", "-null", "swap", "-swap-ppo", "2", "-top", "0"}, 0, "", "null model: swap randomization"},
 		{"closed ok", []string{"closed", "-in", goldenPath, "-minsup", "100", "-top", "3"}, 0, "", "closed itemsets"},
+		{"maximal ok", []string{"closed", "-in", goldenPath, "-minsup", "100", "-maximal", "-top", "3"}, 0, "", "maximal itemsets"},
+		{"maximal bad path", []string{"closed", "-in", "/no/such/file.dat", "-maximal"}, 1, "no such file", ""},
+		{"maximal bad flag", []string{"closed", "-in", goldenPath, "-maximal", "-bogus"}, 2, "flag provided but not defined", ""},
 		{"jobs no subcommand", []string{"jobs"}, 2, "usage: sigfim jobs", ""},
 		{"jobs unknown subcommand", []string{"jobs", "transmogrify"}, 2, "unknown subcommand", ""},
 		{"jobs help", []string{"jobs", "help"}, 0, "usage: sigfim jobs", ""},
@@ -74,6 +77,65 @@ func TestRunExitCodes(t *testing.T) {
 				t.Error("non-zero exit with empty stderr")
 			}
 		})
+	}
+}
+
+// TestClosedMaximalOutput pins the -maximal wiring semantically: the printed
+// maximal family is nonempty, is a subset of the closed family (every maximal
+// itemset is closed), is no larger than it, and matches the library call it
+// wraps — and the closed-only diagnostic line stays off the maximal output.
+func TestClosedMaximalOutput(t *testing.T) {
+	runOut := func(args ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("%v: exit %d, stderr %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	closedOut := runOut("closed", "-in", goldenPath, "-minsup", "100", "-top", "0")
+	maximalOut := runOut("closed", "-in", goldenPath, "-minsup", "100", "-maximal", "-top", "0")
+
+	if strings.Contains(maximalOut, "largest closed itemset") {
+		t.Errorf("maximal output carries the closed-only diagnostic:\n%s", maximalOut)
+	}
+
+	itemLines := func(out string) []string {
+		var lines []string
+		for _, l := range strings.Split(out, "\n") {
+			// Pattern rows print as "  [items]  support N"; header and
+			// diagnostic lines are unindented.
+			if strings.HasPrefix(l, "  ") && strings.Contains(l, "  support ") {
+				lines = append(lines, l)
+			}
+		}
+		return lines
+	}
+	closedLines, maximalLines := itemLines(closedOut), itemLines(maximalOut)
+	if len(maximalLines) == 0 {
+		t.Fatal("no maximal itemsets printed; test is vacuous")
+	}
+	if len(maximalLines) > len(closedLines) {
+		t.Fatalf("%d maximal itemsets but only %d closed ones", len(maximalLines), len(closedLines))
+	}
+	closedSet := make(map[string]bool, len(closedLines))
+	for _, l := range closedLines {
+		closedSet[l] = true
+	}
+	for _, l := range maximalLines {
+		if !closedSet[l] {
+			t.Errorf("maximal itemset %q is not in the closed family", strings.TrimSpace(l))
+		}
+	}
+
+	// The CLI must print exactly what the library mines.
+	d, err := sigfim.OpenFIMI(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.MaximalItemsets(100)
+	if got := len(maximalLines); got != len(want) {
+		t.Fatalf("CLI printed %d maximal itemsets, library mined %d", got, len(want))
 	}
 }
 

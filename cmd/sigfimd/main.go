@@ -7,6 +7,7 @@
 //
 //	sigfimd [-addr :8080] [-data name=path]... [-workers N] [-queue N]
 //	        [-cache N] [-max-upload BYTES] [-metrics=false]
+//	        [-workers-remote http://h1:8080,http://h2:8080]
 //
 // Each -data flag registers one FIMI file (gzip detected transparently)
 // under a name before the server starts listening. Quickstart:
@@ -23,6 +24,14 @@
 // -metrics=false leaves GET /metrics unrouted (the other endpoints are
 // unaffected). "sigfim jobs watch JOB" renders the SSE stream as a live
 // progress line.
+//
+// -workers-remote turns the instance into a coordinator: every job's Monte
+// Carlo replicates are sharded across the listed sigfimd workers, addressed
+// by dataset content hash (register the same files on each worker; names may
+// differ). Failed ranges are retried on the other workers and finally mined
+// locally, and results are bit-identical to a single-process run. Every
+// sigfimd serves POST /v1/partials, so any instance can act as a worker —
+// the flag only controls whether this one fans out.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests and
 // running jobs are drained (up to a timeout), queued jobs are canceled.
@@ -80,6 +89,7 @@ func run(args []string, stderr io.Writer) int {
 	cacheSize := fs.Int("cache", 256, "result cache entries (negative disables)")
 	maxUpload := fs.Int64("max-upload", 1<<30, "max dataset upload size in bytes")
 	metricsOn := fs.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+	workersRemote := fs.String("workers-remote", "", "comma-separated sigfimd worker base URLs to shard Monte Carlo replicates across (coordinator mode)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	var data dataFlags
 	fs.Var(&data, "data", "register dataset as name=path (repeatable)")
@@ -90,6 +100,13 @@ func run(args []string, stderr io.Writer) int {
 		return 2
 	}
 
+	var remote []string
+	for _, w := range strings.Split(*workersRemote, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			remote = append(remote, w)
+		}
+	}
+
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	srv := service.New(service.Options{
 		Workers:        *workers,
@@ -97,6 +114,7 @@ func run(args []string, stderr io.Writer) int {
 		CacheSize:      *cacheSize,
 		MaxUploadBytes: *maxUpload,
 		DisableMetrics: !*metricsOn,
+		RemoteWorkers:  remote,
 		Logger:         logger,
 	})
 	for _, e := range data {

@@ -1,0 +1,243 @@
+package sigfim_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"sigfim"
+	"sigfim/internal/service"
+)
+
+// discardLogger silences the services' request logs in test output.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// End-to-end distributed determinism: a coordinator sharding Algorithm 1's
+// Monte Carlo replicates across real sigfimd workers (in-process httptest
+// servers running the full service stack) must produce byte-identical
+// reports to the single-process run — for both null models, any coordinator
+// worker count, and with dead workers in the pool. This is the PR's hard
+// invariant: the existing golden fixtures pin the single-process path, and
+// these tests pin the distributed path to it.
+
+// The tests are external (package sigfim_test) because a sigfim-package test
+// importing internal/service would close an import cycle.
+
+// startWorkers boots n sigfimd worker instances with the golden dataset
+// registered and returns their base URLs. Each worker is a complete service;
+// the coordinator addresses the dataset by content hash.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		srv := service.New(service.Options{Logger: discardLogger()})
+		if _, err := srv.Registry().RegisterFile("golden", "testdata/golden_input.dat"); err != nil {
+			t.Fatalf("register golden dataset: %v", err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(hs.Close)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		urls[i] = hs.URL
+	}
+	return urls
+}
+
+// deadWorker returns a URL that refuses every connection.
+func deadWorker(t *testing.T) string {
+	t.Helper()
+	hs := httptest.NewServer(nil)
+	url := hs.URL
+	hs.Close()
+	return url
+}
+
+func goldenDataset(t *testing.T) *sigfim.Dataset {
+	t.Helper()
+	d, err := sigfim.OpenFIMI("testdata/golden_input.dat")
+	if err != nil {
+		t.Fatalf("open golden fixture: %v", err)
+	}
+	return d
+}
+
+// mustJSON marshals a report for byte-level comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDistributedSignificantBitIdentity is the acceptance criterion: a
+// coordinator fanning out over two live workers produces byte-identical
+// Significant reports to the single-process run, for coordinator worker
+// counts 1, 4, and 8, under both the independence and the swap null.
+func TestDistributedSignificantBitIdentity(t *testing.T) {
+	d := goldenDataset(t)
+	workers := startWorkers(t, 2)
+
+	nulls := []struct {
+		name string
+		cfg  func() *sigfim.Config
+	}{
+		{"independence", func() *sigfim.Config {
+			return &sigfim.Config{Delta: 120, Seed: 9, WithBaseline: true}
+		}},
+		{"swap", func() *sigfim.Config {
+			return &sigfim.Config{Delta: 60, Seed: 9, SwapNull: true}
+		}},
+	}
+	for _, null := range nulls {
+		t.Run(null.name, func(t *testing.T) {
+			local, err := d.Significant(2, null.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			localJSON := mustJSON(t, local)
+			for _, w := range []int{1, 4, 8} {
+				cfg := null.cfg()
+				cfg.Workers = w
+				cfg.RemoteWorkers = workers
+				dist, err := d.Significant(2, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got := mustJSON(t, dist); !reflect.DeepEqual(got, localJSON) {
+					t.Fatalf("workers=%d: distributed report differs from single-process report\nlocal: %s\ndist:  %s", w, localJSON, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedFindSMin pins the smin path (Algorithm 1 alone, always the
+// independence null) across the fabric, including a pinned range size.
+func TestDistributedFindSMin(t *testing.T) {
+	d := goldenDataset(t)
+	workers := startWorkers(t, 2)
+
+	local, err := d.FindSMin(2, &sigfim.Config{Delta: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rangeSize := range []int{0, 1, 13} {
+		got, err := d.FindSMin(2, &sigfim.Config{
+			Delta: 120, Seed: 9,
+			RemoteWorkers: workers, RemoteRangeSize: rangeSize,
+		})
+		if err != nil {
+			t.Fatalf("rangeSize=%d: %v", rangeSize, err)
+		}
+		if got != local {
+			t.Fatalf("rangeSize=%d: distributed s_min = %d, single-process = %d", rangeSize, got, local)
+		}
+	}
+}
+
+// TestDistributedWorkerFailure: ranges landing on a dead worker must be
+// retried on the live one (and, with every worker dead, mined locally
+// through the identical code path) without changing a byte of the report.
+func TestDistributedWorkerFailure(t *testing.T) {
+	d := goldenDataset(t)
+	local, err := d.Significant(2, &sigfim.Config{Delta: 120, Seed: 9, WithBaseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON := mustJSON(t, local)
+
+	live := startWorkers(t, 1)
+	pools := map[string][]string{
+		"dead worker in pool": {deadWorker(t), live[0]},
+		"all workers dead":    {deadWorker(t), deadWorker(t)},
+	}
+	for name, pool := range pools {
+		t.Run(name, func(t *testing.T) {
+			dist, err := d.Significant(2, &sigfim.Config{
+				Delta: 120, Seed: 9, WithBaseline: true,
+				RemoteWorkers: pool,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mustJSON(t, dist); !reflect.DeepEqual(got, localJSON) {
+				t.Fatalf("report with %s differs from single-process report", name)
+			}
+		})
+	}
+}
+
+// TestCoordinatorServiceBitIdentity drives the full service stack: a
+// coordinator sigfimd (Options.RemoteWorkers) executes a job by sharding
+// across two worker sigfimds, and its stored result bytes equal those of an
+// identical job on a plain local sigfimd. This also pins that RemoteWorkers
+// stays out of the cache key — the coordinator serves the same bytes a local
+// server would.
+func TestCoordinatorServiceBitIdentity(t *testing.T) {
+	workers := startWorkers(t, 2)
+
+	runJob := func(opts service.Options) []byte {
+		t.Helper()
+		srv := service.New(opts)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		if _, err := srv.Registry().RegisterFile("golden", "testdata/golden_input.dat"); err != nil {
+			t.Fatal(err)
+		}
+		st, err := srv.Engine().Submit(service.JobRequest{
+			Dataset: "golden", Kind: service.KindSignificant, K: 2,
+			Config: &sigfim.Config{Delta: 120, Seed: 9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for !st.State.Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job stuck in state %s", st.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+			if st, err = srv.Engine().Get(st.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.State != service.StateDone {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		return st.Result
+	}
+
+	localResult := runJob(service.Options{Logger: discardLogger()})
+	coordResult := runJob(service.Options{Logger: discardLogger(), RemoteWorkers: workers})
+	if !reflect.DeepEqual(coordResult, localResult) {
+		t.Fatalf("coordinator job result differs from local job result\nlocal: %s\ncoord: %s", localResult, coordResult)
+	}
+}
+
+// TestMineReplicateRangeHashCheck: the worker entry point refuses a request
+// addressed to a different dataset instead of silently mining the wrong one.
+func TestMineReplicateRangeHashCheck(t *testing.T) {
+	d := goldenDataset(t)
+	_, err := d.MineReplicateRange(context.Background(), sigfim.PartialRequest{
+		DatasetHash: "not-the-hash",
+		From:        0, To: 1, K: 2, Floor: 2, Seeds: []uint64{42},
+	})
+	if err == nil {
+		t.Fatal("hash mismatch accepted")
+	}
+}

@@ -118,6 +118,30 @@
 // (list, get, watch). Instrumentation never touches result bytes: the
 // determinism and cache bit-identity contracts are unaffected.
 //
+// Distributed replicate fabric. Monte Carlo replicates are embarrassingly
+// parallel, so Algorithm 1's replicate loop is factored into an explicit
+// range job: internal/montecarlo splits the Delta replicates into
+// [from, to) ranges, and MineRange executes one range into a serializable
+// Partial that the coordinator folds back replicate-by-replicate in index
+// order. The in-process worker pool and remote workers run this same code
+// path — "distributed" is only a dispatch decision. Setting
+// Config.RemoteWorkers to sigfimd base URLs makes Significant/FindSMin fan
+// ranges out over those workers via POST /v1/partials (every sigfimd
+// instance serves it; cmd/sigfimd -workers-remote configures a coordinator
+// service, and the sigfim smin/significant CLIs take the same flag). A
+// PartialRequest addresses the dataset by its SHA-256 content hash, so a
+// worker provably mines the same bytes or refuses; failed ranges are
+// retried round-robin across the pool and fall back to local mining through
+// the identical MineRange path when every remote attempt fails. Because
+// each replicate index derives its RNG from its own per-replicate seed and
+// partials merge in replicate order, the distributed run is byte-identical
+// to the single-process run for both null models, any worker count, and
+// any range size — the same bit-identity contract the in-process pool
+// honors, pinned end to end by distributed_determinism_test.go. Remote
+// topology is a deployment concern, not part of the query: RemoteWorkers
+// and RemoteRangeSize are excluded from job-request JSON and from the
+// result-cache key.
+//
 // # Null models
 //
 // Two null models ship with the package, and both are first-class citizens

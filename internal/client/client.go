@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"strings"
 
+	"sigfim"
 	"sigfim/internal/service"
 )
 
@@ -121,6 +122,21 @@ func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.Jo
 	var st service.JobStatus
 	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &st)
 	return st, err
+}
+
+// Partial asks the server to mine one Monte Carlo replicate range (POST
+// /v1/partials) — the worker side of the distributed replicate fabric. The
+// dataset is addressed by content hash inside the request.
+func (c *Client) Partial(ctx context.Context, req sigfim.PartialRequest) (*sigfim.RangePartial, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var p sigfim.RangePartial
+	if err := c.do(ctx, http.MethodPost, "/v1/partials", bytes.NewReader(body), &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
 }
 
 // Cancel requests cancellation of a job and returns its status.

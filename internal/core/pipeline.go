@@ -53,6 +53,14 @@ type Options struct {
 	// (done, total); see montecarlo.Config.Progress. It cannot influence the
 	// result.
 	Progress func(done, total int)
+	// Runner, when non-nil, executes Algorithm 1's replicate ranges remotely
+	// (see montecarlo.Config.Runner); nil keeps the in-process pool. The
+	// merged result is bit-identical either way.
+	Runner montecarlo.RangeRunner
+	// RangeSize and RangeInflight tune Runner dispatches; see
+	// montecarlo.Config. They cannot influence the result.
+	RangeSize     int
+	RangeInflight int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,14 +128,17 @@ func AnalyzeCtx(ctx context.Context, name string, v *dataset.Vertical, k int, op
 	}
 
 	mc, err := montecarlo.FindPoissonThresholdCtx(ctx, model, montecarlo.Config{
-		K:          k,
-		Delta:      opts.Delta,
-		Epsilon:    opts.Epsilon,
-		Seed:       opts.Seed,
-		MaxEntries: opts.MaxEntries,
-		Workers:    opts.Workers,
-		Algorithm:  opts.Algorithm,
-		Progress:   opts.Progress,
+		K:             k,
+		Delta:         opts.Delta,
+		Epsilon:       opts.Epsilon,
+		Seed:          opts.Seed,
+		MaxEntries:    opts.MaxEntries,
+		Workers:       opts.Workers,
+		Algorithm:     opts.Algorithm,
+		Progress:      opts.Progress,
+		Runner:        opts.Runner,
+		RangeSize:     opts.RangeSize,
+		RangeInflight: opts.RangeInflight,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: Algorithm 1: %w", err)

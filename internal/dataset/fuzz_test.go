@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+)
+
+// gzipped compresses b for gzip-path seeds; the fuzzer mutates the compressed
+// bytes too, exercising truncated and corrupt deflate streams.
+func gzipped(tb testing.TB, b []byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(b); err != nil {
+		tb.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFIMI throws arbitrary byte streams at the FIMI reader and checks
+// its full contract: it must never panic, every accepted dataset satisfies
+// the Dataset invariants (sorted duplicate-free transactions inside the item
+// universe), accepted input survives a WriteFIMI round trip unchanged, and
+// gzip-compressing a plain stream never changes what is parsed — the 2-byte
+// magic sniff must be the only thing deciding between the two paths.
+func FuzzReadFIMI(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(""),
+		[]byte("\n"),
+		[]byte("1 2 3\n4 5\n"),
+		[]byte("0\n"),
+		[]byte("7 7 7\n"),                // duplicates collapse
+		[]byte("3 1 2\n"),                // unsorted input
+		[]byte("  1\t2 \r\n"),            // separator soup
+		[]byte("1 2 3"),                  // no trailing newline
+		[]byte("1\n\n2\n"),               // empty transaction in the middle
+		[]byte("4294967295\n"),           // max uint32: accepted
+		[]byte("4294967296\n"),           // uint32 overflow: must error, not wrap
+		[]byte("99999999999999999999\n"), // overflows int64 inside Atoi
+		[]byte("1 x 2\n"),                // junk byte mid-line
+		[]byte("-1\n"),                   // sign is not a digit
+		[]byte{0x1f, 0x8b, '\n'},         // gzip magic, invalid gzip header
+	}
+	golden := []byte("1 2\n0 3 2\n\n1\n")
+	seeds = append(seeds, golden, gzipped(f, golden))
+	seeds = append(seeds, gzipped(f, golden)[:8]) // truncated gzip stream
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadFIMI(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		n := d.NumItems()
+		for i, tr := range d.Transactions() {
+			for j, it := range tr {
+				if int(it) >= n {
+					t.Fatalf("transaction %d holds item %d outside universe [0,%d)", i, it, n)
+				}
+				if j > 0 && tr[j-1] >= it {
+					t.Fatalf("transaction %d is not strictly increasing: %v", i, tr)
+				}
+			}
+		}
+
+		// Round trip: writing what we parsed and re-reading it must
+		// reproduce the dataset exactly.
+		var buf bytes.Buffer
+		if err := WriteFIMI(&buf, d); err != nil {
+			t.Fatalf("WriteFIMI on accepted dataset: %v", err)
+		}
+		d2, err := ReadFIMI(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading WriteFIMI output: %v", err)
+		}
+		if d2.NumItems() != d.NumItems() || d2.NumTransactions() != d.NumTransactions() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				d.NumItems(), d.NumTransactions(), d2.NumItems(), d2.NumTransactions())
+		}
+		for i, tr := range d.Transactions() {
+			tr2 := d2.Transactions()[i]
+			if len(tr) != len(tr2) {
+				t.Fatalf("round trip changed transaction %d: %v -> %v", i, tr, tr2)
+			}
+			for j := range tr {
+				if tr[j] != tr2[j] {
+					t.Fatalf("round trip changed transaction %d: %v -> %v", i, tr, tr2)
+				}
+			}
+		}
+
+		// Gzip transparency: unless the plain bytes already carry the gzip
+		// magic (and were therefore decompressed above), compressing them
+		// must parse to the identical dataset.
+		if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+			return
+		}
+		dz, err := ReadFIMI(bytes.NewReader(gzipped(t, data)))
+		if err != nil {
+			t.Fatalf("gzip of accepted plain input rejected: %v", err)
+		}
+		if dz.NumItems() != d.NumItems() || dz.NumTransactions() != d.NumTransactions() {
+			t.Fatalf("gzip path changed shape: %dx%d -> %dx%d",
+				d.NumItems(), d.NumTransactions(), dz.NumItems(), dz.NumTransactions())
+		}
+		for i, tr := range d.Transactions() {
+			trz := dz.Transactions()[i]
+			if len(tr) != len(trz) {
+				t.Fatalf("gzip path changed transaction %d: %v -> %v", i, tr, trz)
+			}
+			for j := range tr {
+				if tr[j] != trz[j] {
+					t.Fatalf("gzip path changed transaction %d: %v -> %v", i, tr, trz)
+				}
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 )
@@ -68,6 +69,11 @@ func ReadFIMI(r io.Reader) (*Dataset, error) {
 			v, err := strconv.Atoi(string(line[start:i]))
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: %v", lineNo, err)
+			}
+			if v > math.MaxUint32 {
+				// Item ids are stored as uint32; silently wrapping would
+				// alias distinct ids, so refuse the input instead.
+				return nil, fmt.Errorf("dataset: line %d: item id %d overflows uint32", lineNo, v)
 			}
 			if v > maxID {
 				maxID = v

@@ -1,0 +1,265 @@
+package montecarlo
+
+import (
+	"context"
+	"fmt"
+
+	"sigfim/internal/dataset"
+	"sigfim/internal/mining"
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+// The replicate fabric: Algorithm 1's Delta Monte Carlo replicates are
+// embarrassingly parallel and deterministic per seed, so the replicate loop
+// is expressed as explicit "replicate range -> serializable partial" jobs. A
+// RangeRequest names a half-open range of replicate indices together with
+// everything needed to mine it (per-replicate seeds, itemset size, mining
+// floor, algorithm); MineRange executes one request in-process and fills a
+// Partial, a flat, portable encoding of every replicate's mined (itemset,
+// support) pairs. The local worker pool and remote sigfimd workers run this
+// exact code path — the only difference is who calls MineRange — and the
+// coordinator merges partials strictly in replicate-index order, so the
+// merged collection (including its adaptive prune schedule) is bit-identical
+// to a single-process run no matter how many workers executed the ranges, in
+// what order their partials arrived, or whether a failed range was retried
+// elsewhere.
+
+// ReplicateRange is a half-open range [From, To) of replicate indices.
+type ReplicateRange struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Len returns the number of replicates in the range.
+func (r ReplicateRange) Len() int { return r.To - r.From }
+
+// RangeRequest fully specifies the mining of one replicate range. Two
+// requests with the same Range, K, Floor, Algorithm, and Seeds produce
+// value-identical partials on any executor — Workers is an intra-mine
+// parallelism hint that cannot influence the result.
+type RangeRequest struct {
+	// Range selects the replicate indices [From, To).
+	Range ReplicateRange
+	// K is the itemset size under study.
+	K int
+	// Floor is the integer mining threshold: every itemset with support >=
+	// Floor in a replicate is reported. The merge re-filters against its own
+	// (possibly higher) prune floor, so any Floor at or below the merge-time
+	// prune floor yields the same merged collection.
+	Floor int
+	// Algorithm selects the replicate miner.
+	Algorithm mining.Algorithm
+	// Seeds holds one RNG seed per replicate in the range (len == Range.Len());
+	// Seeds[i] drives replicate Range.From+i. Replicate index i always
+	// consumes seed i of the root stream, so the RNG substream a replicate
+	// sees never depends on which worker executes it.
+	Seeds []uint64
+	// Workers bounds the intra-mine parallelism of each replicate's mine
+	// (0 = executor's choice). Results are identical for every value.
+	Workers int
+}
+
+// validate checks a request's internal consistency.
+func (req RangeRequest) validate() error {
+	if req.Range.From < 0 || req.Range.To <= req.Range.From {
+		return fmt.Errorf("montecarlo: invalid replicate range [%d,%d)", req.Range.From, req.Range.To)
+	}
+	if len(req.Seeds) != req.Range.Len() {
+		return fmt.Errorf("montecarlo: range [%d,%d) carries %d seeds, want %d",
+			req.Range.From, req.Range.To, len(req.Seeds), req.Range.Len())
+	}
+	if req.K < 1 {
+		return fmt.Errorf("montecarlo: K must be >= 1, got %d", req.K)
+	}
+	if req.Floor < 1 {
+		return fmt.Errorf("montecarlo: mining floor must be >= 1, got %d", req.Floor)
+	}
+	return nil
+}
+
+// Partial is the serializable product of mining one replicate range: for
+// each replicate, the k-itemsets whose support reached the mining floor, in
+// the deterministic emission order of the mining algorithm. The encoding is
+// flat and string-free so partials are cheap to build, merge, and ship as
+// JSON between sigfimd processes.
+type Partial struct {
+	// From and To echo the replicate range [From, To).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Floor is the mining threshold the range was mined at.
+	Floor int `json:"floor"`
+	// K is the itemset size.
+	K int `json:"k"`
+	// Counts[i] is the number of itemsets mined from replicate From+i.
+	Counts []int32 `json:"counts"`
+	// Items holds K item ids per itemset, concatenated across replicates in
+	// range order; Sups holds the parallel supports.
+	Items []uint32 `json:"items,omitempty"`
+	Sups  []int32  `json:"sups,omitempty"`
+}
+
+// reset prepares a (possibly recycled) partial for a new range, keeping the
+// backing arrays.
+func (p *Partial) reset(req RangeRequest) {
+	p.From = req.Range.From
+	p.To = req.Range.To
+	p.Floor = req.Floor
+	p.K = req.K
+	p.Counts = p.Counts[:0]
+	p.Items = p.Items[:0]
+	p.Sups = p.Sups[:0]
+}
+
+// Validate checks a partial's internal consistency against the request it
+// answers. The coordinator runs it on every partial before merging, so a
+// malformed response from a remote worker fails the job loudly instead of
+// corrupting the collection.
+func (p *Partial) Validate(req RangeRequest) error {
+	if p.From != req.Range.From || p.To != req.Range.To {
+		return fmt.Errorf("montecarlo: partial covers [%d,%d), want [%d,%d)",
+			p.From, p.To, req.Range.From, req.Range.To)
+	}
+	if p.K != req.K {
+		return fmt.Errorf("montecarlo: partial mined %d-itemsets, want %d", p.K, req.K)
+	}
+	if p.Floor > req.Floor {
+		// A higher floor silently drops entries the merge still needs; a
+		// lower one only adds entries the merge filters out.
+		return fmt.Errorf("montecarlo: partial mined at floor %d above requested floor %d", p.Floor, req.Floor)
+	}
+	if len(p.Counts) != p.To-p.From {
+		return fmt.Errorf("montecarlo: partial has %d replicate counts, want %d", len(p.Counts), p.To-p.From)
+	}
+	var total int
+	for i, c := range p.Counts {
+		if c < 0 {
+			return fmt.Errorf("montecarlo: negative itemset count %d at replicate %d", c, p.From+i)
+		}
+		total += int(c)
+	}
+	if len(p.Sups) != total {
+		return fmt.Errorf("montecarlo: partial has %d supports, want %d", len(p.Sups), total)
+	}
+	if len(p.Items) != total*p.K {
+		return fmt.Errorf("montecarlo: partial has %d item ids, want %d", len(p.Items), total*p.K)
+	}
+	return nil
+}
+
+// RangeRunner executes one replicate-range request somewhere — typically by
+// POSTing it to a remote sigfimd worker — and returns the mined partial. A
+// runner must be safe for concurrent calls; it is invoked once per range, so
+// any retry policy (other workers, local fallback) lives inside the runner.
+// Returning an error fails the whole estimate.
+type RangeRunner func(ctx context.Context, req RangeRequest) (*Partial, error)
+
+// RangeScratch bundles the pooled per-worker state MineRange reuses across
+// calls: the mining scratch (DFS and tree buffers) and the replicate Vertical
+// (column backing arrays refilled in place). One scratch must not be shared
+// by concurrent MineRange calls.
+type RangeScratch struct {
+	scratch *mining.Scratch
+	v       *dataset.Vertical
+}
+
+// NewRangeScratch returns an empty scratch.
+func NewRangeScratch() *RangeScratch {
+	return &RangeScratch{scratch: mining.NewScratch()}
+}
+
+// MineRange executes one replicate range in-process against the given null
+// model, appending each replicate's mined itemsets to out. It is the single
+// code path behind both the local worker pool and the sigfimd worker
+// endpoint: replicate Range.From+i is generated from Seeds[i] and mined at
+// Floor with the requested algorithm, exactly as the single-process loop
+// does. scr may be nil (a fresh scratch is used); out is reset first and its
+// backing arrays are reused. The context is checked at replicate boundaries.
+func MineRange(ctx context.Context, m randmodel.Model, req RangeRequest, scr *RangeScratch, out *Partial) error {
+	if err := req.validate(); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if scr == nil {
+		scr = NewRangeScratch()
+	}
+	intra := req.Workers
+	if intra < 1 {
+		intra = 1
+	}
+	out.reset(req)
+	for i := 0; i < req.Range.Len(); i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		scr.v = randmodel.GenerateReusing(m, stats.NewRNG(req.Seeds[i]), scr.v)
+		before := len(out.Sups)
+		mining.VisitKAlgoScratch(scr.v, req.K, req.Floor, intra, req.Algorithm, scr.scratch, func(items mining.Itemset, sup int) {
+			out.Items = append(out.Items, items...)
+			out.Sups = append(out.Sups, int32(sup))
+		})
+		out.Counts = append(out.Counts, int32(len(out.Sups)-before))
+	}
+	return nil
+}
+
+// splitRanges partitions [0, delta) into consecutive ranges of at most size
+// replicates.
+func splitRanges(delta, size int) []ReplicateRange {
+	if size < 1 {
+		size = 1
+	}
+	out := make([]ReplicateRange, 0, (delta+size-1)/size)
+	for from := 0; from < delta; from += size {
+		to := from + size
+		if to > delta {
+			to = delta
+		}
+		out = append(out, ReplicateRange{From: from, To: to})
+	}
+	return out
+}
+
+// mergePartial folds one validated partial into the collection, replicate by
+// replicate in range order: entries below the current prune floor are
+// dropped, the soft cap triggers adaptive pruning, the entry budget is
+// enforced, and progress fires once per replicate — the same per-replicate
+// schedule as a single-process run, so the collection is bit-identical
+// regardless of how replicates were grouped into ranges. minFloor receives
+// the raised prune floor as a mining shortcut for ranges not yet claimed.
+func mergePartial(col *collection, p *Partial, k, softCap, floor, total int, cfg Config, raiseFloor func(int)) error {
+	off := 0
+	for ri := 0; ri < p.To-p.From; ri++ {
+		rep := p.From + ri
+		cnt := int(p.Counts[ri])
+		for i := off; i < off+cnt; i++ {
+			sup := int(p.Sups[i])
+			if sup < col.pruneFloor {
+				continue
+			}
+			id, added := col.index.Insert(p.Items[i*k : (i+1)*k])
+			if added {
+				col.entries = append(col.entries, nil)
+			}
+			col.entries[id] = append(col.entries[id], entry{rep: int32(rep), sup: int32(sup)})
+			col.numEntry++
+			if sup > col.maxSup {
+				col.maxSup = sup
+			}
+		}
+		off += cnt
+		if col.numEntry > softCap {
+			col.prune(softCap / 2)
+			raiseFloor(col.pruneFloor)
+		}
+		if col.numEntry > cfg.MaxEntries {
+			return fmt.Errorf("montecarlo: entry budget %d exceeded at replicate %d (floor %d too low)", cfg.MaxEntries, rep, floor)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(rep+1, total)
+		}
+	}
+	return nil
+}

@@ -30,7 +30,6 @@ import (
 	"sort"
 	"sync/atomic"
 
-	"sigfim/internal/dataset"
 	"sigfim/internal/mining"
 	"sigfim/internal/randmodel"
 	"sigfim/internal/stats"
@@ -74,6 +73,20 @@ type Config struct {
 	// The callback must be fast and must not block; it cannot influence the
 	// result.
 	Progress func(done, total int)
+	// Runner, when non-nil, executes replicate ranges remotely (see
+	// RangeRunner): the Delta replicates are split into ranges of RangeSize,
+	// dispatched concurrently through the runner, and the returned partials
+	// are merged in replicate-index order. Results are bit-identical to the
+	// in-process run for every runner, range size, and in-flight count,
+	// because each replicate index consumes the same seed and the merge
+	// consumes replicates in the same order either way.
+	Runner RangeRunner
+	// RangeSize is the number of replicates per Runner dispatch (0 picks a
+	// size that keeps ~4 ranges per in-flight slot). Ignored without Runner.
+	RangeSize int
+	// RangeInflight bounds concurrent Runner dispatches (0 = 4). Ignored
+	// without Runner.
+	RangeInflight int
 }
 
 func (c Config) withDefaults() Config {
@@ -440,30 +453,30 @@ func maxExpectedSupport(m randmodel.Model, k int) float64 {
 	return prod
 }
 
-// repOutput is one replicate's mined itemsets in a flat string-free encoding:
-// k items per itemset in items, supports parallel in sups. The buffers cycle
-// between the mining workers and the merge through a free list, so the
-// steady-state replicate loop reuses a bounded set of them instead of
-// allocating per replicate.
-type repOutput struct {
-	items []uint32
-	sups  []int32
+// rangeResult carries one range's partial (or the error that produced none)
+// from an executor goroutine to the merge.
+type rangeResult struct {
+	p   *Partial
+	err error
 }
 
 // mineAll mines the k-itemsets with support >= floor from each replicate,
 // pruning adaptively (see collection) when the entry volume exceeds the
-// Delta-dependent soft cap. Replicates are mined concurrently (generation
-// and mining are embarrassingly parallel because every replicate has its own
-// seed); the merge consumes results strictly in replicate order, so the
-// collection — including the prune schedule — is identical for any worker
-// count.
+// Delta-dependent soft cap. The replicates are partitioned into explicit
+// ReplicateRange jobs executed concurrently — in-process through MineRange
+// when cfg.Runner is nil (range size 1, so the adaptive floor shortcut and
+// buffer recycling work per replicate), or through cfg.Runner (typically an
+// HTTP fan-out over remote sigfimd workers) otherwise. Either way the merge
+// consumes partials strictly in replicate-index order, so the collection —
+// including the prune schedule — is identical for any worker count, range
+// size, executor, and partial arrival order.
 //
-// This is the hot loop of the whole system, and it is allocation-free in
-// steady state: each worker keeps one pooled Vertical (column backing arrays
-// reused across replicates via GenerateReusing), one mining.Scratch (DFS and
-// tree buffers reused across mines), and recycles flat repOutput buffers
-// through a free list; the merge indexes itemsets through the collection's
-// string-free table.
+// The local path is the hot loop of the whole system, and it is
+// allocation-free in steady state: each worker keeps one RangeScratch
+// (pooled Vertical whose column backing arrays are reused across replicates
+// via GenerateReusing, plus a mining.Scratch reused across mines) and
+// recycles flat Partial buffers through a free list; the merge indexes
+// itemsets through the collection's string-free table.
 func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, cfg Config) (*collection, error) {
 	k := cfg.K
 	col := newCollection(k, floor)
@@ -480,93 +493,126 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 		workers = len(seeds)
 	}
 
-	// Workers mine replicates at the floor known when the replicate was
-	// claimed; the merge re-filters against the current (possibly higher)
-	// prune floor. minFloor is read atomically as a mining shortcut only —
+	// Partition the replicates into ranges. Local execution uses ranges of
+	// one replicate — exactly the historical per-replicate loop — while a
+	// Runner amortizes its per-dispatch overhead over larger ranges, sized so
+	// every in-flight slot sees a few ranges (work stealing across uneven
+	// workers) unless pinned by RangeSize.
+	inflight := workers
+	rangeSize := 1
+	if cfg.Runner != nil {
+		inflight = cfg.RangeInflight
+		if inflight < 1 {
+			inflight = 4
+		}
+		rangeSize = cfg.RangeSize
+		if rangeSize < 1 {
+			rangeSize = (len(seeds) + 4*inflight - 1) / (4 * inflight)
+			if rangeSize < 1 {
+				rangeSize = 1
+			}
+		}
+	}
+	ranges := splitRanges(len(seeds), rangeSize)
+	if len(ranges) < inflight {
+		inflight = len(ranges)
+	}
+
+	// Executors mine ranges at the floor known when the range was claimed;
+	// the merge re-filters against the current (possibly higher) prune
+	// floor. minFloor is read atomically as a mining shortcut only —
 	// correctness never depends on it.
 	var minFloor atomic.Int64
 	minFloor.Store(int64(floor))
 
-	outputs := make([]chan repOutput, len(seeds))
+	// Internal cancellation: when the merge returns early (runner failure,
+	// entry budget, caller cancellation) the executors stop claiming ranges
+	// and any in-flight runner call is canceled.
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	outputs := make([]chan rangeResult, len(ranges))
 	for i := range outputs {
-		outputs[i] = make(chan repOutput, 1)
+		outputs[i] = make(chan rangeResult, 1)
 	}
-	// Consumed output buffers return here for any worker to reuse; capacity
-	// bounds the number of buffers in flight (workers mining + merge lag).
-	free := make(chan repOutput, 2*workers+1)
+	// Consumed partial buffers return here for any local executor to reuse;
+	// capacity bounds the number of buffers in flight (executors mining +
+	// merge lag).
+	free := make(chan *Partial, 2*inflight+1)
 	var next atomic.Int64
-	for w := 0; w < workers; w++ {
+	for w := 0; w < inflight; w++ {
 		go func() {
-			scratch := mining.NewScratch()
-			var v *dataset.Vertical
+			var scr *RangeScratch
+			if cfg.Runner == nil {
+				scr = NewRangeScratch()
+			}
 			for {
-				// Cancellation checkpoint: stop claiming replicates once the
-				// context dies. Replicates already claimed still complete and
+				// Cancellation checkpoint: stop claiming ranges once the
+				// context dies. Ranges already claimed still complete and
 				// deposit into their (buffered) output slot, so no goroutine
 				// ever blocks on an abandoned merge.
 				if ctx.Err() != nil {
 					return
 				}
-				rep := int(next.Add(1)) - 1
-				if rep >= len(seeds) {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(ranges) {
 					return
 				}
-				v = randmodel.GenerateReusing(m, stats.NewRNG(seeds[rep]), v)
-				var out repOutput
+				rg := ranges[idx]
+				req := RangeRequest{
+					Range:     rg,
+					K:         k,
+					Floor:     int(minFloor.Load()),
+					Algorithm: cfg.Algorithm,
+					Seeds:     seeds[rg.From:rg.To],
+					Workers:   intra,
+				}
+				if cfg.Runner != nil {
+					p, err := cfg.Runner(ctx, req)
+					if err == nil {
+						err = p.Validate(req)
+					}
+					outputs[idx] <- rangeResult{p: p, err: err}
+					continue
+				}
+				var out *Partial
 				select {
 				case out = <-free:
-					out.items = out.items[:0]
-					out.sups = out.sups[:0]
 				default:
+					out = &Partial{}
 				}
-				mineFloor := int(minFloor.Load())
-				mining.VisitKAlgoScratch(v, k, mineFloor, intra, cfg.Algorithm, scratch, func(items mining.Itemset, sup int) {
-					out.items = append(out.items, items...)
-					out.sups = append(out.sups, int32(sup))
-				})
-				outputs[rep] <- out
+				err := MineRange(ctx, m, req, scr, out)
+				outputs[idx] <- rangeResult{p: out, err: err}
 			}
 		}()
 	}
 
-	for rep := range seeds {
-		var out repOutput
+	for idx, rg := range ranges {
+		var res rangeResult
 		select {
-		case out = <-outputs[rep]:
+		case res = <-outputs[idx]:
 		case <-ctx.Done():
-			// Replicate boundary cancellation: abandon the merge without
-			// touching the partially built collection again. Workers drain
+			// Range boundary cancellation: abandon the merge without
+			// touching the partially built collection again. Executors drain
 			// themselves via the ctx check above.
 			return nil, ctx.Err()
 		}
-		for i, sup32 := range out.sups {
-			sup := int(sup32)
-			if sup < col.pruneFloor {
-				continue
+		if res.err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			id, added := col.index.Insert(out.items[i*k : (i+1)*k])
-			if added {
-				col.entries = append(col.entries, nil)
+			return nil, fmt.Errorf("montecarlo: replicate range [%d,%d): %w", rg.From, rg.To, res.err)
+		}
+		if err := mergePartial(col, res.p, k, softCap, floor, len(seeds), cfg, func(f int) {
+			minFloor.Store(int64(f))
+		}); err != nil {
+			return nil, err
+		}
+		if cfg.Runner == nil {
+			select {
+			case free <- res.p:
+			default:
 			}
-			col.entries[id] = append(col.entries[id], entry{rep: int32(rep), sup: int32(sup)})
-			col.numEntry++
-			if sup > col.maxSup {
-				col.maxSup = sup
-			}
-		}
-		select {
-		case free <- out:
-		default:
-		}
-		if col.numEntry > softCap {
-			col.prune(softCap / 2)
-			minFloor.Store(int64(col.pruneFloor))
-		}
-		if col.numEntry > cfg.MaxEntries {
-			return nil, fmt.Errorf("montecarlo: entry budget %d exceeded at replicate %d (floor %d too low)", cfg.MaxEntries, rep, floor)
-		}
-		if cfg.Progress != nil {
-			cfg.Progress(rep+1, len(seeds))
 		}
 	}
 	return col, nil

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sigfim"
+)
+
+// clampFrac maps an arbitrary fuzzed float into the [0, 1) range validate
+// accepts, sending NaN/Inf/out-of-range values to 0 (the "use the default"
+// spelling).
+func clampFrac(v float64) float64 {
+	if !(v >= 0 && v < 1) { // also catches NaN
+		return 0
+	}
+	return v
+}
+
+// clampNonNeg maps an arbitrary fuzzed int into the non-negative range
+// validate accepts.
+func clampNonNeg(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// FuzzCacheKeyCanonical fuzzes the cache-key normal form: from one fuzzed
+// configuration it derives a second request that spells every implicit
+// default out explicitly, perturbs every knob the canonical form declares
+// irrelevant (Workers always; alpha/beta/baseline/max-patterns for smin
+// jobs; swap knobs the null-model selection ignores), and asserts both
+// requests land on the same cache key — while seed, dataset hash, and delta
+// perturbations always move the key. If canonicalize's default-filling ever
+// drifts from the pipeline's, or an irrelevant knob leaks into the key and
+// splits cache slots, this finds the counterexample.
+func FuzzCacheKeyCanonical(f *testing.F) {
+	f.Add(true, 2, 0.0, 0.0, 0.0, 0, uint64(9), false, 0, false, 0, 0, uint8(0), 3, "h1")
+	f.Add(true, 3, 0.1, 0.2, 0.05, 500, uint64(1), true, 50, true, 4, 0, uint8(1), 0, "h2")
+	f.Add(true, 1, 0.0, 0.0, 0.0, 0, uint64(0), false, 0, true, 0, 900, uint8(2), 8, "")
+	f.Add(false, 4, 0.9, 0.0, 0.5, 12, uint64(777), true, 3, false, 5, 6, uint8(3), 1, "deadbeef")
+	f.Fuzz(func(t *testing.T, significant bool, k int,
+		alpha, beta, epsilon float64, delta int, seed uint64,
+		baseline bool, maxPatterns int, swapNull bool, swapPPO, swapProposals int,
+		algoSel uint8, workersB int, hash string) {
+
+		kind := KindSMin
+		if significant {
+			kind = KindSignificant
+		}
+		algos := []string{"", sigfim.AlgoAuto, sigfim.AlgoEclat, sigfim.AlgoApriori, sigfim.AlgoFPGrowth}
+		cfg := sigfim.Config{
+			Alpha:                      clampFrac(alpha),
+			Beta:                       clampFrac(beta),
+			Epsilon:                    clampFrac(epsilon),
+			Delta:                      clampNonNeg(delta),
+			Seed:                       seed,
+			WithBaseline:               baseline,
+			MaxPatterns:                clampNonNeg(maxPatterns),
+			SwapNull:                   significant && swapNull, // smin jobs reject SwapNull
+			SwapProposalsPerOccurrence: clampNonNeg(swapPPO),
+			SwapProposals:              clampNonNeg(swapProposals),
+			Algorithm:                  algos[int(algoSel)%len(algos)],
+		}
+		if k < 1 {
+			k = 1
+		}
+		a := JobRequest{Dataset: "d", Kind: kind, K: k, Config: &cfg}
+
+		// b is the same request with nothing left implicit and every
+		// canonically-irrelevant knob perturbed.
+		bcfg := cfg
+		bcfg.Workers = clampNonNeg(workersB) // performance-only, any kind
+		if bcfg.Epsilon == 0 {
+			bcfg.Epsilon = 0.01
+		}
+		if bcfg.Delta == 0 {
+			bcfg.Delta = 1000
+		}
+		if bcfg.Algorithm == "" {
+			bcfg.Algorithm = sigfim.AlgoAuto
+		}
+		if kind == KindSignificant {
+			if bcfg.Alpha == 0 {
+				bcfg.Alpha = 0.05
+			}
+			if bcfg.Beta == 0 {
+				bcfg.Beta = 0.05
+			}
+			if bcfg.MaxPatterns == 0 {
+				bcfg.MaxPatterns = 100000
+			}
+			switch {
+			case !bcfg.SwapNull:
+				// Independence null: the swap chain knobs cannot matter.
+				bcfg.SwapProposalsPerOccurrence = clampNonNeg(swapPPO) + 3
+				bcfg.SwapProposals = clampNonNeg(swapProposals) + 7
+			case bcfg.SwapProposals > 0:
+				// An absolute chain length overrides the per-occurrence
+				// knob, so the latter cannot matter.
+				bcfg.SwapProposalsPerOccurrence = clampNonNeg(swapPPO) + 3
+			default:
+				// Per-occurrence path: spelling out the default of 8 must
+				// not split the slot.
+				if bcfg.SwapProposalsPerOccurrence == 0 {
+					bcfg.SwapProposalsPerOccurrence = 8
+				}
+			}
+		} else {
+			// smin jobs ignore Procedure 2's knobs and the null selection.
+			bcfg.Alpha = clampFrac(alpha + 0.25)
+			bcfg.Beta = clampFrac(beta + 0.25)
+			bcfg.WithBaseline = !baseline
+			bcfg.MaxPatterns = clampNonNeg(maxPatterns) + 11
+			bcfg.SwapProposalsPerOccurrence = clampNonNeg(swapPPO) + 3
+			bcfg.SwapProposals = clampNonNeg(swapProposals) + 7
+		}
+		b := JobRequest{Dataset: "d", Kind: kind, K: k, Config: &bcfg}
+
+		// Both spellings must be accepted by the same validation the engine
+		// applies before keying — equivalence over rejected requests would
+		// be vacuous.
+		var e Engine
+		if err := e.validate(a); err != nil {
+			t.Fatalf("request a rejected: %v", err)
+		}
+		if err := e.validate(b); err != nil {
+			t.Fatalf("request b rejected: %v", err)
+		}
+
+		ca, cb := canonicalize(a), canonicalize(b)
+		if ca != cb {
+			t.Fatalf("equivalent requests canonicalize differently:\na: %+v\nb: %+v", ca, cb)
+		}
+		ka, kb := cacheKeyFor(hash, ca), cacheKeyFor(hash, cb)
+		if ka != kb {
+			t.Fatalf("equivalent requests got distinct cache keys:\n%s\n%s", ka, kb)
+		}
+		if !strings.HasPrefix(ka, hash+"|") {
+			t.Fatalf("key %q does not embed dataset hash %q", ka, hash)
+		}
+
+		// A nil config is the all-defaults spelling of the zero config.
+		if reflect.DeepEqual(cfg, sigfim.Config{}) {
+			nilKey := cacheKeyFor(hash, canonicalize(JobRequest{Dataset: "d", Kind: kind, K: k}))
+			if nilKey != ka {
+				t.Fatalf("nil config keyed differently from zero config:\n%s\n%s", nilKey, ka)
+			}
+		}
+
+		// Result-bearing fields must move the key: seed, delta, and the
+		// dataset identity are all part of what the cached bytes depend on.
+		scfg := cfg
+		scfg.Seed = seed + 1
+		if sk := cacheKeyFor(hash, canonicalize(JobRequest{Dataset: "d", Kind: kind, K: k, Config: &scfg})); sk == ka {
+			t.Fatal("seed change did not change the cache key")
+		}
+		dcfg := cfg
+		dcfg.Delta = clampNonNeg(delta) + 1
+		if dk := cacheKeyFor(hash, canonicalize(JobRequest{Dataset: "d", Kind: kind, K: k, Config: &dcfg})); dk == ka {
+			t.Fatal("delta change did not change the cache key")
+		}
+		if hk := cacheKeyFor(hash+"x", ca); hk == ka {
+			t.Fatal("dataset hash change did not change the cache key")
+		}
+	})
+}

@@ -151,6 +151,13 @@ type Engine struct {
 	metrics   *Metrics
 	events    *eventBus
 
+	// remoteWorkers, when nonempty, makes every computed job shard its Monte
+	// Carlo replicates across these sigfimd workers (coordinator mode). Set
+	// once before the first submission; results are bit-identical to local
+	// execution, so the field is deliberately absent from cache keys and
+	// request canonicalization.
+	remoteWorkers []string
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // submission order, for listing
@@ -466,6 +473,10 @@ func (e *Engine) run(j *job) {
 	if j.req.Config != nil {
 		cfg = *j.req.Config // copy: the engine attaches its own Progress
 	}
+	// Coordinator mode: shard the replicates across the configured workers.
+	// RemoteWorkers is json:"-", so a job request can never inject its own
+	// worker list — this assignment is the only source.
+	cfg.RemoteWorkers = e.remoteWorkers
 	cfg.Progress = func(done, total int) {
 		d := int64(done)
 		prev := j.progressDone.Swap(d)

@@ -60,6 +60,9 @@ type Metrics struct {
 	replicates atomic.Int64    // Monte Carlo replicates merged, all jobs
 	httpByCode [6]atomic.Int64 // responses by status class; index = code/100
 
+	partialsServed    atomic.Int64 // replicate ranges mined for remote coordinators
+	partialReplicates atomic.Int64 // replicates inside those ranges
+
 	mu    sync.RWMutex
 	kinds map[string]*kindMetrics
 }
@@ -109,6 +112,15 @@ func (m *Metrics) jobFinished(kind string, state JobState, d time.Duration, comp
 func (m *Metrics) addReplicates(n int64) {
 	if n > 0 {
 		m.replicates.Add(n)
+	}
+}
+
+// partialServed records one replicate range mined for a remote coordinator
+// (the worker side of the distributed fabric) and the replicates it covered.
+func (m *Metrics) partialServed(replicates int64) {
+	m.partialsServed.Add(1)
+	if replicates > 0 {
+		m.partialReplicates.Add(replicates)
 	}
 }
 
@@ -195,6 +207,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap metricsSnapshot) {
 	p("# HELP sigfimd_replicates_total Monte Carlo replicates merged across all jobs (replicate throughput).\n")
 	p("# TYPE sigfimd_replicates_total counter\n")
 	p("sigfimd_replicates_total %d\n", m.replicates.Load())
+
+	p("# HELP sigfimd_partials_served_total Replicate ranges mined for remote coordinators (POST /v1/partials).\n")
+	p("# TYPE sigfimd_partials_served_total counter\n")
+	p("sigfimd_partials_served_total %d\n", m.partialsServed.Load())
+
+	p("# HELP sigfimd_partial_replicates_total Monte Carlo replicates mined inside served partials.\n")
+	p("# TYPE sigfimd_partial_replicates_total counter\n")
+	p("sigfimd_partial_replicates_total %d\n", m.partialReplicates.Load())
 
 	p("# HELP sigfimd_job_duration_seconds Wall-clock duration of computed jobs that ended done, by kind (cache hits excluded).\n")
 	p("# TYPE sigfimd_job_duration_seconds histogram\n")

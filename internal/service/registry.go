@@ -32,6 +32,7 @@ type DatasetInfo struct {
 type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]registryEntry
+	byHash map[string]registryEntry // content-addressed view for the worker endpoint
 }
 
 type registryEntry struct {
@@ -41,7 +42,10 @@ type registryEntry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]registryEntry)}
+	return &Registry{
+		byName: make(map[string]registryEntry),
+		byHash: make(map[string]registryEntry),
+	}
 }
 
 // validName reports whether a dataset name is usable as a path segment of
@@ -92,7 +96,13 @@ func (r *Registry) Register(name string, ds *sigfim.Dataset, source string) (Dat
 		}
 		return DatasetInfo{}, fmt.Errorf("%w: dataset %q already registered with different content", ErrConflict, name)
 	}
-	r.byName[name] = registryEntry{ds: ds, info: info}
+	e := registryEntry{ds: ds, info: info}
+	r.byName[name] = e
+	if _, ok := r.byHash[hash]; !ok {
+		// Two names may alias identical content; the first registration wins
+		// the hash slot (the datasets are byte-identical, so it cannot matter).
+		r.byHash[hash] = e
+	}
 	return info, nil
 }
 
@@ -123,6 +133,16 @@ func (r *Registry) Get(name string) (*sigfim.Dataset, DatasetInfo, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.byName[name]
+	return e.ds, e.info, ok
+}
+
+// GetByHash resolves a dataset by content hash — the worker endpoint's
+// addressing mode, which makes a coordinator/worker pair provably mine the
+// same bytes regardless of the names their registries use.
+func (r *Registry) GetByHash(hash string) (*sigfim.Dataset, DatasetInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byHash[hash]
 	return e.ds, e.info, ok
 }
 

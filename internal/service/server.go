@@ -16,6 +16,9 @@
 //	POST   /v1/datasets?name=N   register a dataset from a FIMI body
 //	                             (gzip detected transparently)
 //	GET    /v1/datasets/{name}   one dataset's info
+//	POST   /v1/partials          mine one Monte Carlo replicate range against
+//	                             a dataset addressed by content hash (the
+//	                             worker side of the distributed fabric)
 //	GET    /v1/jobs              list jobs in submission order (no results)
 //	POST   /v1/jobs              submit an analysis job (JobRequest)
 //	GET    /v1/jobs/{id}         job status / progress / result
@@ -32,6 +35,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"sigfim"
 )
 
 // Options configures a Server; the zero value selects sensible defaults.
@@ -55,6 +60,13 @@ type Options struct {
 	// DisableMetrics leaves GET /metrics unrouted. Instrumentation itself is
 	// always on (it is a handful of atomics); this only hides the endpoint.
 	DisableMetrics bool
+	// RemoteWorkers lists base URLs of sigfimd workers this server shards
+	// its jobs' Monte Carlo replicates across (coordinator mode); empty runs
+	// every job in-process. Results are bit-identical either way, so the
+	// result cache and the job API are unaffected. Every sigfimd instance
+	// serves POST /v1/partials and can act as a worker — the flag only
+	// controls whether this one fans out.
+	RemoteWorkers []string
 	// Logger receives structured request and lifecycle logs; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -91,6 +103,7 @@ type Server struct {
 	metrics   *Metrics
 	log       *slog.Logger
 	maxUpload int64
+	remote    []string
 	startedAt time.Time
 	handler   http.Handler
 }
@@ -104,11 +117,13 @@ func New(opts Options) *Server {
 		registry:  reg,
 		cache:     cache,
 		engine:    NewEngine(reg, cache, opts.Workers, opts.QueueCap, opts.JobRetention),
+		remote:    opts.RemoteWorkers,
 		log:       opts.Logger,
 		maxUpload: opts.MaxUploadBytes,
 		startedAt: time.Now().UTC(),
 	}
 	s.metrics = s.engine.Metrics()
+	s.engine.remoteWorkers = opts.RemoteWorkers
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if !opts.DisableMetrics {
@@ -118,6 +133,7 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/partials", s.handleMinePartial)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -282,6 +298,41 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleMinePartial serves POST /v1/partials: the worker side of the
+// distributed replicate fabric. The request addresses a dataset by content
+// hash and names a replicate range with its per-replicate seeds; the
+// response is the mined partial. Execution is synchronous on the request
+// goroutine (the coordinator bounds its own fan-out concurrency) and honors
+// client disconnects through the request context.
+func (s *Server) handleMinePartial(w http.ResponseWriter, r *http.Request) {
+	var req sigfim.PartialRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: %w", ErrBadRequest, err))
+		return
+	}
+	if req.DatasetHash == "" {
+		writeError(w, fmt.Errorf("%w: missing dataset_hash", ErrBadRequest))
+		return
+	}
+	ds, _, ok := s.registry.GetByHash(req.DatasetHash)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no dataset with hash %s", ErrNotFound, req.DatasetHash))
+		return
+	}
+	p, err := ds.MineReplicateRange(r.Context(), req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful to write
+		}
+		writeError(w, fmt.Errorf("%w: %w", ErrBadRequest, err))
+		return
+	}
+	s.metrics.partialServed(int64(req.To - req.From))
+	writeJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {

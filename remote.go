@@ -1,0 +1,242 @@
+package sigfim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"sigfim/internal/mining"
+	"sigfim/internal/montecarlo"
+	"sigfim/internal/randmodel"
+)
+
+// The distributed replicate fabric. Algorithm 1's Delta Monte Carlo
+// replicates are embarrassingly parallel and deterministic per seed, so a
+// coordinator can shard them across sigfimd workers: the replicate loop is
+// split into half-open ranges, each range ships to a worker as a
+// PartialRequest (addressed to a dataset by content hash, carrying the
+// per-replicate seeds), the worker mines it through the exact code path the
+// local pool uses (Dataset.MineReplicateRange), and the coordinator merges
+// the returned RangePartials strictly in replicate-index order. Because
+// replicate i always consumes seed i of the root RNG stream no matter which
+// worker executes it, the merged result — and therefore the whole report —
+// is bit-identical to a single-process run.
+//
+// Configure a coordinator with Config.RemoteWorkers; serve the worker side
+// with sigfimd, whose POST /v1/partials endpoint calls MineReplicateRange
+// against its dataset registry. Every sigfimd instance is a capable worker —
+// there is no separate worker binary or mode flag.
+
+// PartialRequest asks a worker to mine one replicate range. It is the body
+// of sigfimd's POST /v1/partials and the input of Dataset.MineReplicateRange;
+// the dataset is addressed by content hash so the coordinator and the worker
+// provably mine the same bytes regardless of the names their registries use.
+type PartialRequest struct {
+	// DatasetHash is the content hash (Dataset.Hash) the worker must resolve
+	// in its registry. Empty skips the check in MineReplicateRange (the
+	// caller already holds the dataset); the HTTP endpoint requires it.
+	DatasetHash string `json:"dataset_hash"`
+	// From and To bound the half-open replicate range [From, To).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// K is the itemset size under study.
+	K int `json:"k"`
+	// Floor is the mining support threshold for every replicate in the range.
+	Floor int `json:"floor"`
+	// Algorithm is one of the Algo* constants ("" = auto).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seeds holds one RNG seed per replicate; Seeds[i] drives replicate
+	// From+i. The coordinator derives them from the root stream, so a
+	// replicate's substream never depends on which worker executes it.
+	Seeds []uint64 `json:"seeds"`
+	// Workers bounds the worker-side intra-mine parallelism (0 = worker's
+	// choice). It cannot influence the mined result.
+	Workers int `json:"workers,omitempty"`
+	// SwapNull selects swap randomization as the null model; the zero value
+	// is the paper's independence model. SwapProposalsPerOccurrence and
+	// SwapProposals parameterize the chain exactly as in Config.
+	SwapNull                   bool `json:"swap_null,omitempty"`
+	SwapProposalsPerOccurrence int  `json:"swap_ppo,omitempty"`
+	SwapProposals              int  `json:"swap_proposals,omitempty"`
+}
+
+// RangePartial is the serializable product of mining one replicate range:
+// per replicate, the k-itemsets whose support reached the floor, in the
+// deterministic emission order of the miner. It is the response body of
+// POST /v1/partials. The field layout mirrors the coordinator's internal
+// partial exactly, so conversion is a struct cast.
+type RangePartial struct {
+	// From and To echo the replicate range.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Floor is the mining threshold the range was mined at.
+	Floor int `json:"floor"`
+	// K is the itemset size.
+	K int `json:"k"`
+	// Counts[i] is the number of itemsets mined from replicate From+i.
+	Counts []int32 `json:"counts"`
+	// Items holds K item ids per itemset, concatenated across replicates in
+	// range order; Sups holds the parallel supports.
+	Items []uint32 `json:"items,omitempty"`
+	Sups  []int32  `json:"sups,omitempty"`
+}
+
+// nullModelFor builds the null model a PartialRequest names, constructed
+// from the same dataset state the single-process pipeline uses — the worker
+// and the coordinator therefore generate value-identical replicates.
+func (ds *Dataset) nullModelFor(req PartialRequest) randmodel.Model {
+	if req.SwapNull {
+		return &randmodel.SwapModel{
+			Base:                   ds.d,
+			ProposalsPerOccurrence: req.SwapProposalsPerOccurrence,
+			Proposals:              req.SwapProposals,
+		}
+	}
+	return randmodel.IndependentModel{
+		T:     ds.d.NumTransactions(),
+		Freqs: ds.frequencies(),
+	}
+}
+
+// MineReplicateRange executes one replicate-range request against this
+// dataset and returns the mined partial. It is the worker side of the
+// distributed fabric — sigfimd's POST /v1/partials calls it — and also the
+// coordinator's local fallback when every remote worker fails, which is what
+// guarantees the two paths cannot diverge: they are the same function. The
+// context is honored at replicate boundaries.
+func (ds *Dataset) MineReplicateRange(ctx context.Context, req PartialRequest) (*RangePartial, error) {
+	if req.DatasetHash != "" && req.DatasetHash != ds.Hash() {
+		return nil, fmt.Errorf("sigfim: dataset hash mismatch: request %s, dataset %s", req.DatasetHash, ds.Hash())
+	}
+	algo, err := mining.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("sigfim: unknown algorithm %q", req.Algorithm)
+	}
+	mreq := montecarlo.RangeRequest{
+		Range:     montecarlo.ReplicateRange{From: req.From, To: req.To},
+		K:         req.K,
+		Floor:     req.Floor,
+		Algorithm: algo,
+		Seeds:     req.Seeds,
+		Workers:   req.Workers,
+	}
+	ds.vertical() // force the one-time lazy caches for concurrent safety
+	var p montecarlo.Partial
+	if err := montecarlo.MineRange(ctx, ds.nullModelFor(req), mreq, nil, &p); err != nil {
+		return nil, err
+	}
+	out := RangePartial(p)
+	return &out, nil
+}
+
+// remoteFabric is the coordinator's RangeRunner: it fans replicate ranges
+// out over the configured sigfimd workers, round-robining the starting
+// worker per range so load spreads, retrying each range on every other
+// worker on failure, and finally falling back to mining the range locally
+// through the identical code path. Safe for concurrent calls.
+type remoteFabric struct {
+	ds       *Dataset
+	workers  []string
+	hc       *http.Client
+	template PartialRequest // null model + algorithm; range fields filled per call
+	next     atomic.Uint64  // round-robin cursor over workers
+}
+
+// newRangeRunner builds the montecarlo runner for cfg.RemoteWorkers.
+func (ds *Dataset) newRangeRunner(cfg *Config) montecarlo.RangeRunner {
+	f := &remoteFabric{
+		ds: ds,
+		hc: http.DefaultClient,
+		template: PartialRequest{
+			DatasetHash:                ds.Hash(),
+			Algorithm:                  cfg.Algorithm,
+			SwapNull:                   cfg.SwapNull,
+			SwapProposalsPerOccurrence: cfg.SwapProposalsPerOccurrence,
+			SwapProposals:              cfg.SwapProposals,
+		},
+	}
+	for _, w := range cfg.RemoteWorkers {
+		if w = strings.TrimRight(strings.TrimSpace(w), "/"); w != "" {
+			f.workers = append(f.workers, w)
+		}
+	}
+	return f.run
+}
+
+// run executes one range: each worker gets one attempt (starting from the
+// round-robin cursor), then the range runs locally. Only context
+// cancellation aborts without the local fallback — a dead worker costs one
+// failed HTTP round trip, never the job.
+func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*montecarlo.Partial, error) {
+	wire := f.template
+	wire.From = req.Range.From
+	wire.To = req.Range.To
+	wire.K = req.K
+	wire.Floor = req.Floor
+	wire.Seeds = req.Seeds
+	wire.Workers = req.Workers
+
+	var lastErr error
+	if n := len(f.workers); n > 0 {
+		start := int(f.next.Add(1)-1) % n
+		for i := 0; i < n; i++ {
+			worker := f.workers[(start+i)%n]
+			rp, err := postPartial(ctx, f.hc, worker, wire)
+			if err == nil {
+				p := montecarlo.Partial(*rp)
+				return &p, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+		}
+	}
+	rp, err := f.ds.MineReplicateRange(ctx, wire)
+	if err != nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("all %d workers failed (last: %v); local fallback: %w", len(f.workers), lastErr, err)
+		}
+		return nil, err
+	}
+	p := montecarlo.Partial(*rp)
+	return &p, nil
+}
+
+// postPartial performs one POST /v1/partials round trip against a worker.
+func postPartial(ctx context.Context, hc *http.Client, base string, req PartialRequest) (*RangePartial, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/partials", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("worker %s: %s (HTTP %d)", base, e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("worker %s: HTTP %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var rp RangePartial
+	if err := json.NewDecoder(resp.Body).Decode(&rp); err != nil {
+		return nil, fmt.Errorf("worker %s: decode partial: %w", base, err)
+	}
+	return &rp, nil
+}

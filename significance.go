@@ -68,6 +68,20 @@ type Config struct {
 	// influence the result, and it is ignored by JSON encoding, so configs
 	// arriving as JSON (e.g. through sigfimd) never carry one.
 	Progress func(completed, total int) `json:"-"`
+	// RemoteWorkers lists base URLs of sigfimd workers (e.g.
+	// "http://10.0.0.2:8080") to shard the Monte Carlo replicates across.
+	// Empty runs everything in-process. Remote execution is bit-identical to
+	// a local run: each replicate consumes the same RNG substream regardless
+	// of which worker executes it, failed ranges are retried on the other
+	// workers and finally mined locally through the identical code path, and
+	// partials merge in replicate-index order. Like Progress, the field is
+	// a deployment concern, not part of the analysis identity, and is ignored
+	// by JSON encoding so job requests cannot inject it.
+	RemoteWorkers []string `json:"-"`
+	// RemoteRangeSize pins the number of replicates per dispatched range when
+	// RemoteWorkers is set (0 picks a size that keeps a few ranges in flight
+	// per worker). It cannot influence the result.
+	RemoteRangeSize int `json:"-"`
 }
 
 func (c *Config) withDefaults() (core.Options, error) {
@@ -167,6 +181,10 @@ func (ds *Dataset) SignificantCtx(ctx context.Context, k int, cfg *Config) (*Rep
 			Proposals:              cfg.SwapProposals,
 		}
 	}
+	if cfg != nil && len(cfg.RemoteWorkers) > 0 {
+		opts.Runner = ds.newRangeRunner(cfg)
+		opts.RangeSize = cfg.RemoteRangeSize
+	}
 	a, err := core.AnalyzeCtx(ctx, "dataset", ds.vertical(), k, opts)
 	if err != nil {
 		return nil, err
@@ -251,10 +269,15 @@ func (ds *Dataset) FindSMinCtx(ctx context.Context, k int, cfg *Config) (int, er
 		T:     ds.d.NumTransactions(),
 		Freqs: ds.frequencies(),
 	}
-	res, err := montecarlo.FindPoissonThresholdCtx(ctx, m, montecarlo.Config{
+	mcfg := montecarlo.Config{
 		K: k, Delta: opts.Delta, Epsilon: opts.Epsilon, Seed: opts.Seed,
 		Workers: opts.Workers, Algorithm: opts.Algorithm, Progress: opts.Progress,
-	})
+	}
+	if cfg != nil && len(cfg.RemoteWorkers) > 0 {
+		mcfg.Runner = ds.newRangeRunner(cfg)
+		mcfg.RangeSize = cfg.RemoteRangeSize
+	}
+	res, err := montecarlo.FindPoissonThresholdCtx(ctx, m, mcfg)
 	if err != nil {
 		return 0, fmt.Errorf("sigfim: %w", err)
 	}

@@ -22,10 +22,11 @@ func defaultServer() string {
 	return "http://127.0.0.1:8080"
 }
 
-// cmdJobs implements "sigfim jobs <list|get|watch>", a status client for a
-// running sigfimd: list shows every job the server tracks, get prints one
-// job's full status (result included) as JSON, and watch consumes the
-// server's SSE stream, rendering a live progress line until the job ends.
+// cmdJobs implements "sigfim jobs <list|get|watch|workers>", a status client
+// for a running sigfimd: list shows every job the server tracks, get prints
+// one job's full status (result included) as JSON, watch consumes the
+// server's SSE stream, rendering a live progress line until the job ends,
+// and workers renders a coordinator's worker-supervision table.
 func cmdJobs(args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
 		jobsUsage(stderr)
@@ -42,6 +43,8 @@ func cmdJobs(args []string, stdout, stderr io.Writer) error {
 		return jobsGet(rest, stdout, stderr)
 	case "watch":
 		return jobsWatch(rest, stdout, stderr)
+	case "workers":
+		return jobsWorkers(rest, stdout, stderr)
 	}
 	fmt.Fprintf(stderr, "sigfim jobs: unknown subcommand %q\n", sub)
 	jobsUsage(stderr)
@@ -49,10 +52,11 @@ func cmdJobs(args []string, stdout, stderr io.Writer) error {
 }
 
 func jobsUsage(w io.Writer) {
-	fmt.Fprintln(w, `usage: sigfim jobs <list|get|watch> [-server URL] [job-id]
-  list   list the server's jobs in submission order
-  get    print one job's full status (result included) as JSON
-  watch  stream a job's progress live (SSE) until it finishes
+	fmt.Fprintln(w, `usage: sigfim jobs <list|get|watch|workers> [-server URL] [job-id]
+  list     list the server's jobs in submission order
+  get      print one job's full status (result included) as JSON
+  watch    stream a job's progress live (SSE) until it finishes
+  workers  show a coordinator's remote-worker supervision state
 -server defaults to $SIGFIM_SERVER, then http://127.0.0.1:8080`)
 }
 
@@ -113,6 +117,42 @@ func jobsGet(args []string, stdout, stderr io.Writer) error {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(st)
+}
+
+// jobsWorkers renders the coordinator's fabric supervision table from
+// GET /v1/stats: per worker its state, dispatch outcomes, circuit-breaker
+// history, and (while ejected) the time to its next health probe.
+func jobsWorkers(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("jobs workers", stderr)
+	server := fs.String("server", defaultServer(), "sigfimd base URL")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	st, err := client.New(*server, nil).Stats(context.Background())
+	if err != nil {
+		return err
+	}
+	if st.Fabric == nil {
+		fmt.Fprintln(stdout, "no remote workers configured (server is not a coordinator)")
+		return nil
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKER\tSTATE\tOK\tFAIL\tBACKOFF\tEJECT\tREADMIT\tHEDGED\tNEXT PROBE")
+	for _, w := range st.Fabric.Workers {
+		probe := "-"
+		if w.NextProbeInSeconds > 0 {
+			probe = (time.Duration(w.NextProbeInSeconds * float64(time.Second))).Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			w.URL, w.State, w.Successes, w.Failures, w.Backoffs,
+			w.Ejections, w.Readmissions, w.Hedged, probe)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "hedged dispatches: %d, local fallbacks: %d\n",
+		st.Fabric.Hedges, st.Fabric.LocalFallbacks)
+	return nil
 }
 
 func jobsWatch(args []string, stdout, stderr io.Writer) error {

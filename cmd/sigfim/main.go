@@ -30,9 +30,11 @@
 //	sigfim rules -in data.dat -minsup 100 [-minconf 0.5] [-beta 0.05] [-top 50]
 //	    Association rules with exact Binomial and Fisher p-values;
 //	    -beta selects the Benjamini-Yekutieli-significant subset.
-//	sigfim jobs <list|get|watch> [-server URL] [job-id]
+//	sigfim jobs <list|get|watch|workers> [-server URL] [job-id]
 //	    Client for a running sigfimd: list jobs, fetch one job's status and
-//	    result, or watch a job's live progress over its SSE event stream.
+//	    result, watch a job's live progress over its SSE event stream, or
+//	    show a coordinator's remote-worker supervision table (state, dispatch
+//	    outcomes, ejections, next health probe).
 //	    -server defaults to $SIGFIM_SERVER, then http://127.0.0.1:8080.
 //
 // Errors go to stderr with a non-zero exit status: 2 for usage errors (bad
@@ -193,6 +195,8 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	algo := fs.String("algo", "auto", "mining algorithm: auto|eclat|eclat-bits|apriori|fpgrowth")
 	null := fs.String("null", "independence", "null model: independence (swap is rejected — see doc)")
 	remote := fs.String("workers-remote", "", "comma-separated sigfimd worker URLs to shard replicates across")
+	remoteTimeout := fs.Duration("workers-remote-timeout", 0, "per-range HTTP deadline for remote workers (0 = 2m)")
+	remoteHedge := fs.Duration("workers-remote-hedge", 0, "hedge a straggling range onto a second worker after this delay (0 disables)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -207,6 +211,7 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	s, err := d.FindSMin(*k, &sigfim.Config{
 		Delta: *delta, Epsilon: *eps, Seed: *seed, Workers: *workers, Algorithm: *algo,
 		SwapNull: swap, RemoteWorkers: splitWorkers(*remote),
+		RemoteTimeout: *remoteTimeout, RemoteHedgeDelay: *remoteHedge,
 	})
 	if err != nil {
 		return err
@@ -231,6 +236,8 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 	swapPPO := fs.Int("swap-ppo", 0, "swap null: proposals per matrix occurrence per replicate (0 = 8)")
 	swapProposals := fs.Int("swap-proposals", 0, "swap null: absolute proposals per replicate (overrides -swap-ppo)")
 	remote := fs.String("workers-remote", "", "comma-separated sigfimd worker URLs to shard replicates across")
+	remoteTimeout := fs.Duration("workers-remote-timeout", 0, "per-range HTTP deadline for remote workers (0 = 2m)")
+	remoteHedge := fs.Duration("workers-remote-hedge", 0, "hedge a straggling range onto a second worker after this delay (0 disables)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -247,6 +254,7 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 		WithBaseline: *baseline, Workers: *workers, Algorithm: *algo,
 		SwapNull: swap, SwapProposalsPerOccurrence: *swapPPO, SwapProposals: *swapProposals,
 		RemoteWorkers: splitWorkers(*remote),
+		RemoteTimeout: *remoteTimeout, RemoteHedgeDelay: *remoteHedge,
 	})
 	if err != nil {
 		return err

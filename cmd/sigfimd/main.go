@@ -8,6 +8,8 @@
 //	sigfimd [-addr :8080] [-data name=path]... [-workers N] [-queue N]
 //	        [-cache N] [-max-upload BYTES] [-metrics=false]
 //	        [-workers-remote http://h1:8080,http://h2:8080]
+//	        [-workers-remote-timeout 2m] [-workers-remote-hedge 500ms]
+//	        [-partials-inflight N]
 //
 // Each -data flag registers one FIMI file (gzip detected transparently)
 // under a name before the server starts listening. Quickstart:
@@ -28,10 +30,17 @@
 // -workers-remote turns the instance into a coordinator: every job's Monte
 // Carlo replicates are sharded across the listed sigfimd workers, addressed
 // by dataset content hash (register the same files on each worker; names may
-// differ). Failed ranges are retried on the other workers and finally mined
-// locally, and results are bit-identical to a single-process run. Every
-// sigfimd serves POST /v1/partials, so any instance can act as a worker —
-// the flag only controls whether this one fans out.
+// differ). The workers run under a supervisor shared by all jobs: every
+// range request carries the -workers-remote-timeout deadline, a worker that
+// keeps failing is ejected and re-probed (/healthz, exponential backoff)
+// until it answers again, a 503-shedding worker is backed off without being
+// ejected, -workers-remote-hedge re-dispatches straggling ranges to a second
+// worker, and a range no worker serves is mined locally — all without
+// changing a byte of the result, which stays bit-identical to a
+// single-process run. Every sigfimd serves POST /v1/partials, so any
+// instance can act as a worker — the flag only controls whether this one
+// fans out; -partials-inflight bounds how many partials a worker mines
+// concurrently before it sheds load with 503 + Retry-After.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests and
 // running jobs are drained (up to a timeout), queued jobs are canceled.
@@ -90,6 +99,9 @@ func run(args []string, stderr io.Writer) int {
 	maxUpload := fs.Int64("max-upload", 1<<30, "max dataset upload size in bytes")
 	metricsOn := fs.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
 	workersRemote := fs.String("workers-remote", "", "comma-separated sigfimd worker base URLs to shard Monte Carlo replicates across (coordinator mode)")
+	remoteTimeout := fs.Duration("workers-remote-timeout", 0, "per-range HTTP deadline for remote workers (0 = 2m)")
+	remoteHedge := fs.Duration("workers-remote-hedge", 0, "hedge a straggling range onto a second worker after this delay (0 disables)")
+	partialsInflight := fs.Int("partials-inflight", 0, "max concurrent POST /v1/partials before shedding with 503 (0 = max(8, 4*GOMAXPROCS), negative = unlimited)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	var data dataFlags
 	fs.Var(&data, "data", "register dataset as name=path (repeatable)")
@@ -109,13 +121,16 @@ func run(args []string, stderr io.Writer) int {
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	srv := service.New(service.Options{
-		Workers:        *workers,
-		QueueCap:       *queue,
-		CacheSize:      *cacheSize,
-		MaxUploadBytes: *maxUpload,
-		DisableMetrics: !*metricsOn,
-		RemoteWorkers:  remote,
-		Logger:         logger,
+		Workers:          *workers,
+		QueueCap:         *queue,
+		CacheSize:        *cacheSize,
+		MaxUploadBytes:   *maxUpload,
+		DisableMetrics:   !*metricsOn,
+		RemoteWorkers:    remote,
+		RemoteTimeout:    *remoteTimeout,
+		RemoteHedgeDelay: *remoteHedge,
+		PartialsInflight: *partialsInflight,
+		Logger:           logger,
 	})
 	for _, e := range data {
 		info, err := srv.Registry().RegisterFile(e.name, e.path)

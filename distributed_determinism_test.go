@@ -1,12 +1,17 @@
 package sigfim_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -239,5 +244,328 @@ func TestMineReplicateRangeHashCheck(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("hash mismatch accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection. chaosWorker is a proxy in front of a real sigfimd worker
+// that mangles POST /v1/partials traffic according to a cycling fault
+// schedule: dropped connections, latency spikes past the per-range deadline,
+// mid-body truncation, corrupt JSON, wrong-range echoes, 500s, and 503
+// load-shedding bursts. The tests below drive whole analyses through the
+// proxy and assert the merged report stays byte-identical to a
+// single-process run under every injected fault class — the fabric's
+// supervision, retry, validation, and local-fallback machinery may change
+// where a range is mined, never what it computes.
+
+const (
+	faultNone       = "none"
+	faultDrop       = "drop"       // connection severed before any response
+	faultLatency    = "latency"    // response delayed past the client deadline
+	faultTruncate   = "truncate"   // 200 with a mid-body truncated payload
+	faultCorrupt    = "corrupt"    // 200 with invalid JSON
+	faultWrongRange = "wrongrange" // valid partial echoing somebody else's range
+	fault500        = "500"        // hard server error
+	fault503        = "503"        // load shedding with Retry-After
+)
+
+// chaosSchedule interleaves every fault class with clean requests so the
+// proxy keeps cycling instead of tripping the circuit breaker; the shedding
+// burst sits last so its backoff window cannot starve later fault classes.
+var chaosSchedule = []string{
+	faultNone, faultDrop,
+	faultNone, faultLatency,
+	faultNone, faultTruncate,
+	faultNone, faultCorrupt,
+	faultNone, faultWrongRange,
+	faultNone, fault500,
+	faultNone, fault503,
+}
+
+// chaosWorker proxies /v1/partials to target, applying the schedule one
+// entry per request. The returned map counts injections per fault so tests
+// can assert coverage of every class.
+func chaosWorker(t *testing.T, target string) (string, *sync.Map) {
+	t.Helper()
+	var idx atomic.Int64
+	injected := &sync.Map{}
+	count := func(fault string) {
+		v, _ := injected.LoadOrStore(fault, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+	forward := func(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return nil, false
+		}
+		resp, err := http.Post(target+"/v1/partials", "application/json", bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return nil, false
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			http.Error(w, "upstream failed", http.StatusBadGateway)
+			return nil, false
+		}
+		return out, true
+	}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		fault := chaosSchedule[int(idx.Add(1)-1)%len(chaosSchedule)]
+		count(fault)
+		switch fault {
+		case faultNone:
+			if out, ok := forward(w, r); ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(out)
+			}
+		case faultDrop:
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+		case faultLatency:
+			// Stall past the coordinator's per-range deadline; leave when the
+			// client gives up so server shutdown stays prompt. The body must be
+			// drained first: the server only watches for a client disconnect
+			// (which cancels r.Context()) once the request body is consumed.
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-time.After(5 * time.Second):
+			case <-r.Context().Done():
+			}
+		case faultTruncate:
+			if out, ok := forward(w, r); ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+				w.Write(out[:len(out)/2]) // short write; Go closes the conn mid-body
+			}
+		case faultCorrupt:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"from": 0, "to": `))
+		case faultWrongRange:
+			out, ok := forward(w, r)
+			if !ok {
+				return
+			}
+			var rp sigfim.RangePartial
+			if err := json.Unmarshal(out, &rp); err != nil {
+				t.Errorf("chaos proxy: decode upstream partial: %v", err)
+				return
+			}
+			rp.From++ // a partial for somebody else's range
+			rp.To++
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(&rp)
+		case fault500:
+			http.Error(w, "chaos", http.StatusInternalServerError)
+		case fault503:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"chaos shedding"}`)
+		}
+	}))
+	t.Cleanup(hs.Close)
+	return hs.URL, injected
+}
+
+// assertChaosCoverage fails unless every fault class in the schedule was
+// injected at least once — otherwise the bit-identity claim silently shrank.
+func assertChaosCoverage(t *testing.T, injected *sync.Map) {
+	t.Helper()
+	for _, fault := range chaosSchedule {
+		v, ok := injected.Load(fault)
+		if !ok || v.(*atomic.Int64).Load() == 0 {
+			t.Errorf("fault class %q was never injected; shrink the range size or raise Delta", fault)
+		}
+	}
+}
+
+// TestDistributedChaosBitIdentity is the tentpole acceptance test: with a
+// chaos proxy injecting every fault class between the coordinator and its
+// only worker, the merged report must stay byte-identical to the
+// single-process run — for both null models — because every failed or
+// corrupted range is retried or mined locally through the identical code
+// path, and every accepted partial was validated first.
+func TestDistributedChaosBitIdentity(t *testing.T) {
+	d := goldenDataset(t)
+	live := startWorkers(t, 1)
+
+	nulls := []struct {
+		name string
+		cfg  func() *sigfim.Config
+	}{
+		{"independence", func() *sigfim.Config {
+			return &sigfim.Config{Delta: 120, Seed: 9, WithBaseline: true}
+		}},
+		{"swap", func() *sigfim.Config {
+			return &sigfim.Config{Delta: 60, Seed: 9, SwapNull: true}
+		}},
+	}
+	for _, null := range nulls {
+		t.Run(null.name, func(t *testing.T) {
+			local, err := d.Significant(2, null.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			localJSON := mustJSON(t, local)
+
+			chaos, injected := chaosWorker(t, live[0])
+			cfg := null.cfg()
+			cfg.RemoteWorkers = []string{chaos}
+			cfg.RemoteRangeSize = 3
+			cfg.RemoteTimeout = 500 * time.Millisecond
+			dist, err := d.Significant(2, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mustJSON(t, dist); !reflect.DeepEqual(got, localJSON) {
+				t.Fatalf("chaos report differs from single-process report\nlocal: %s\ndist:  %s", localJSON, got)
+			}
+			assertChaosCoverage(t, injected)
+		})
+	}
+}
+
+// TestDistributedChaosFindSMin pins the smin path under the same fault
+// schedule.
+func TestDistributedChaosFindSMin(t *testing.T) {
+	d := goldenDataset(t)
+	live := startWorkers(t, 1)
+	localS, err := d.FindSMin(2, &sigfim.Config{Delta: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos, injected := chaosWorker(t, live[0])
+	gotS, err := d.FindSMin(2, &sigfim.Config{
+		Delta: 120, Seed: 9,
+		RemoteWorkers: []string{chaos}, RemoteRangeSize: 3,
+		RemoteTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS != localS {
+		t.Fatalf("chaos s_min = %d, single-process = %d", gotS, localS)
+	}
+	assertChaosCoverage(t, injected)
+}
+
+// hungWorker accepts connections and never answers /v1/partials — the
+// classic stalled-worker failure the per-range deadline exists for.
+func hungWorker(t *testing.T) string {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		// Drain the body so the server notices the client abandoning the
+		// request and cancels r.Context() — otherwise these handlers leak
+		// until the test binary exits and Server.Close hangs.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestHungWorkerCannotStallJob is the acceptance criterion for the deadline:
+// with a hung worker in the pool and a short per-range timeout, the job must
+// finish promptly (every range that lands on the hung worker times out, is
+// retried on the live one, and the hung worker is ejected after EjectAfter
+// consecutive timeouts) with a byte-identical report.
+func TestHungWorkerCannotStallJob(t *testing.T) {
+	d := goldenDataset(t)
+	local, err := d.Significant(2, &sigfim.Config{Delta: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON := mustJSON(t, local)
+
+	hung := hungWorker(t)
+	live := startWorkers(t, 1)
+	pool := sigfim.NewWorkerPool([]string{hung, live[0]}, sigfim.WorkerPoolOptions{
+		Timeout:    300 * time.Millisecond,
+		EjectAfter: 2,
+	})
+	defer pool.Close()
+
+	start := time.Now()
+	dist, err := d.Significant(2, &sigfim.Config{
+		Delta: 120, Seed: 9,
+		RemotePool: pool, RemoteRangeSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("job took %v with a hung worker; the per-range deadline is not bounding stalls", elapsed)
+	}
+	if got := mustJSON(t, dist); !reflect.DeepEqual(got, localJSON) {
+		t.Fatal("report with hung worker differs from single-process report")
+	}
+
+	st := pool.Snapshot()
+	var hungStatus, liveStatus *sigfim.WorkerStatus
+	for i := range st.Workers {
+		switch st.Workers[i].URL {
+		case hung:
+			hungStatus = &st.Workers[i]
+		case live[0]:
+			liveStatus = &st.Workers[i]
+		}
+	}
+	if hungStatus == nil || liveStatus == nil {
+		t.Fatalf("snapshot missing workers: %+v", st.Workers)
+	}
+	if hungStatus.Failures < 2 || hungStatus.Ejections < 1 {
+		t.Fatalf("hung worker was not ejected: %+v", hungStatus)
+	}
+	if liveStatus.Successes == 0 {
+		t.Fatalf("live worker served nothing: %+v", liveStatus)
+	}
+}
+
+// TestHedgedDispatch: with hedging enabled, a range stalled on the hung
+// worker is re-dispatched to the live one after the hedge delay and the
+// first valid partial wins — the job finishes fast and byte-identical, and
+// the pool records the hedges.
+func TestHedgedDispatch(t *testing.T) {
+	d := goldenDataset(t)
+	local, err := d.Significant(2, &sigfim.Config{Delta: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON := mustJSON(t, local)
+
+	hung := hungWorker(t)
+	live := startWorkers(t, 1)
+	pool := sigfim.NewWorkerPool([]string{hung, live[0]}, sigfim.WorkerPoolOptions{
+		Timeout:    10 * time.Second, // deadline alone would be slow; hedging wins first
+		EjectAfter: 1000,             // keep the hung worker in rotation so hedges keep firing
+	})
+	defer pool.Close()
+
+	dist, err := d.Significant(2, &sigfim.Config{
+		Delta: 120, Seed: 9,
+		RemotePool: pool, RemoteRangeSize: 10,
+		RemoteHedgeDelay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, dist); !reflect.DeepEqual(got, localJSON) {
+		t.Fatal("hedged report differs from single-process report")
+	}
+	if st := pool.Snapshot(); st.Hedges == 0 {
+		t.Fatalf("no hedged dispatches recorded: %+v", st)
 	}
 }

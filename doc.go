@@ -130,17 +130,38 @@
 // instance serves it; cmd/sigfimd -workers-remote configures a coordinator
 // service, and the sigfim smin/significant CLIs take the same flag). A
 // PartialRequest addresses the dataset by its SHA-256 content hash, so a
-// worker provably mines the same bytes or refuses; failed ranges are
-// retried round-robin across the pool and fall back to local mining through
-// the identical MineRange path when every remote attempt fails. Because
-// each replicate index derives its RNG from its own per-replicate seed and
-// partials merge in replicate order, the distributed run is byte-identical
-// to the single-process run for both null models, any worker count, and
-// any range size — the same bit-identity contract the in-process pool
-// honors, pinned end to end by distributed_determinism_test.go. Remote
-// topology is a deployment concern, not part of the query: RemoteWorkers
-// and RemoteRangeSize are excluded from job-request JSON and from the
-// result-cache key.
+// worker provably mines the same bytes or refuses. Because each replicate
+// index derives its RNG from its own per-replicate seed and partials merge
+// in replicate order, the distributed run is byte-identical to the
+// single-process run for both null models, any worker count, and any range
+// size — the same bit-identity contract the in-process pool honors, pinned
+// end to end by distributed_determinism_test.go. Remote topology is a
+// deployment concern, not part of the query: RemoteWorkers, RemoteRangeSize,
+// and the supervision knobs below are excluded from job-request JSON and
+// from the result-cache key.
+//
+// Fault tolerance. Dispatch runs through a WorkerPool supervisor that
+// tracks per-worker health from request outcomes plus periodic /healthz
+// probes: every range request carries a hard HTTP deadline
+// (Config.RemoteTimeout), a failed range is retried on the next eligible
+// worker and finally mined locally through the identical MineRange path, a
+// worker that fails repeatedly is ejected and re-probed with exponential
+// backoff and jitter until it answers again (then re-admitted with a clean
+// slate), a 503/429 shed response backs the worker off for its Retry-After
+// window without counting toward ejection, and Config.RemoteHedgeDelay
+// optionally re-dispatches a straggling range to a second worker with the
+// first valid partial winning. The worker side sheds load rather than queue
+// unboundedly: POST /v1/partials answers 503 + Retry-After while draining
+// or over its concurrent-partials cap. Every accepted partial is
+// size-bounded, parsed as exactly one JSON document, and validated against
+// the requested range before merging, so supervision decides only where a
+// range executes — never what it computes — and the bit-identity contract
+// holds under every failure mode, which a chaos-proxy fault-injection
+// harness (connection drops, latency spikes, truncation, corrupt JSON,
+// wrong-range echoes, 5xx bursts) pins in distributed_determinism_test.go.
+// A shared supervisor can be passed via Config.RemotePool; a sigfimd
+// coordinator keeps one pool across all jobs so health state persists
+// between them.
 //
 // # Null models
 //

@@ -2,6 +2,7 @@ package montecarlo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"sigfim/internal/dataset"
@@ -111,38 +112,44 @@ func (p *Partial) reset(req RangeRequest) {
 	p.Sups = p.Sups[:0]
 }
 
+// ErrInvalidPartial is wrapped by every Validate failure, so a runner can
+// classify a malformed partial (eligible for retry on another worker) apart
+// from an execution error with errors.Is.
+var ErrInvalidPartial = errors.New("montecarlo: invalid partial")
+
 // Validate checks a partial's internal consistency against the request it
 // answers. The coordinator runs it on every partial before merging, so a
-// malformed response from a remote worker fails the job loudly instead of
-// corrupting the collection.
+// malformed response from a remote worker fails the range loudly (and
+// retryably — all errors wrap ErrInvalidPartial) instead of corrupting the
+// collection.
 func (p *Partial) Validate(req RangeRequest) error {
 	if p.From != req.Range.From || p.To != req.Range.To {
-		return fmt.Errorf("montecarlo: partial covers [%d,%d), want [%d,%d)",
-			p.From, p.To, req.Range.From, req.Range.To)
+		return fmt.Errorf("%w: covers [%d,%d), want [%d,%d)",
+			ErrInvalidPartial, p.From, p.To, req.Range.From, req.Range.To)
 	}
 	if p.K != req.K {
-		return fmt.Errorf("montecarlo: partial mined %d-itemsets, want %d", p.K, req.K)
+		return fmt.Errorf("%w: mined %d-itemsets, want %d", ErrInvalidPartial, p.K, req.K)
 	}
 	if p.Floor > req.Floor {
 		// A higher floor silently drops entries the merge still needs; a
 		// lower one only adds entries the merge filters out.
-		return fmt.Errorf("montecarlo: partial mined at floor %d above requested floor %d", p.Floor, req.Floor)
+		return fmt.Errorf("%w: mined at floor %d above requested floor %d", ErrInvalidPartial, p.Floor, req.Floor)
 	}
 	if len(p.Counts) != p.To-p.From {
-		return fmt.Errorf("montecarlo: partial has %d replicate counts, want %d", len(p.Counts), p.To-p.From)
+		return fmt.Errorf("%w: %d replicate counts, want %d", ErrInvalidPartial, len(p.Counts), p.To-p.From)
 	}
 	var total int
 	for i, c := range p.Counts {
 		if c < 0 {
-			return fmt.Errorf("montecarlo: negative itemset count %d at replicate %d", c, p.From+i)
+			return fmt.Errorf("%w: negative itemset count %d at replicate %d", ErrInvalidPartial, c, p.From+i)
 		}
 		total += int(c)
 	}
 	if len(p.Sups) != total {
-		return fmt.Errorf("montecarlo: partial has %d supports, want %d", len(p.Sups), total)
+		return fmt.Errorf("%w: %d supports, want %d", ErrInvalidPartial, len(p.Sups), total)
 	}
 	if len(p.Items) != total*p.K {
-		return fmt.Errorf("montecarlo: partial has %d item ids, want %d", len(p.Items), total*p.K)
+		return fmt.Errorf("%w: %d item ids, want %d", ErrInvalidPartial, len(p.Items), total*p.K)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package montecarlo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -291,7 +292,10 @@ func TestRunnerDuplicateRangePartial(t *testing.T) {
 	if err == nil {
 		t.Fatal("duplicate-range partials were merged without error")
 	}
-	if !strings.Contains(err.Error(), "partial covers") {
+	if !errors.Is(err, ErrInvalidPartial) {
+		t.Fatalf("error %q does not wrap ErrInvalidPartial", err)
+	}
+	if !strings.Contains(err.Error(), "covers") {
 		t.Fatalf("error %q does not name the range mismatch", err)
 	}
 }

@@ -151,12 +151,16 @@ type Engine struct {
 	metrics   *Metrics
 	events    *eventBus
 
-	// remoteWorkers, when nonempty, makes every computed job shard its Monte
-	// Carlo replicates across these sigfimd workers (coordinator mode). Set
-	// once before the first submission; results are bit-identical to local
+	// pool, when non-nil, makes every computed job shard its Monte Carlo
+	// replicates across the supervised sigfimd workers (coordinator mode).
+	// One pool is shared by all jobs so worker-health state — ejections,
+	// probe backoff, per-worker statistics — persists between jobs. Set once
+	// before the first submission; results are bit-identical to local
 	// execution, so the field is deliberately absent from cache keys and
-	// request canonicalization.
-	remoteWorkers []string
+	// request canonicalization. hedgeDelay enables hedged re-dispatch of
+	// straggling ranges when positive.
+	pool       *sigfim.WorkerPool
+	hedgeDelay time.Duration
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -206,6 +210,15 @@ func NewEngine(registry *Registry, cache *ResultCache, workers, queueCap, retent
 
 // Metrics returns the engine's metrics registry.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Draining reports whether Shutdown has begun: the worker side of the fabric
+// uses it to shed new partial requests with 503 instead of starting work the
+// drain would abandon.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
 
 // validate checks a request before it is admitted, so queued jobs can only
 // fail for runtime reasons, never for malformed parameters.
@@ -473,10 +486,11 @@ func (e *Engine) run(j *job) {
 	if j.req.Config != nil {
 		cfg = *j.req.Config // copy: the engine attaches its own Progress
 	}
-	// Coordinator mode: shard the replicates across the configured workers.
-	// RemoteWorkers is json:"-", so a job request can never inject its own
-	// worker list — this assignment is the only source.
-	cfg.RemoteWorkers = e.remoteWorkers
+	// Coordinator mode: shard the replicates across the supervised worker
+	// pool. RemotePool is json:"-", so a job request can never inject its own
+	// workers — this assignment is the only source.
+	cfg.RemotePool = e.pool
+	cfg.RemoteHedgeDelay = e.hedgeDelay
 	cfg.Progress = func(done, total int) {
 		d := int64(done)
 		prev := j.progressDone.Swap(d)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sigfim"
 )
 
 // durationBuckets are the upper bounds, in seconds, of the fixed-bucket
@@ -62,6 +64,7 @@ type Metrics struct {
 
 	partialsServed    atomic.Int64 // replicate ranges mined for remote coordinators
 	partialReplicates atomic.Int64 // replicates inside those ranges
+	partialsShed      atomic.Int64 // partial requests shed with 503 (draining / over cap)
 
 	mu    sync.RWMutex
 	kinds map[string]*kindMetrics
@@ -124,6 +127,12 @@ func (m *Metrics) partialServed(replicates int64) {
 	}
 }
 
+// partialShed records one partial request refused with 503 + Retry-After
+// because the worker is draining or over its inflight cap.
+func (m *Metrics) partialShed() {
+	m.partialsShed.Add(1)
+}
+
 // observeHTTP counts one finished HTTP response by status class.
 func (m *Metrics) observeHTTP(status int) {
 	if c := status / 100; c >= 1 && c < len(m.httpByCode) {
@@ -140,6 +149,9 @@ type metricsSnapshot struct {
 	jobs                   EngineCounters
 	cacheHits, cacheMisses uint64
 	cacheEntries           int
+	// fabric is the coordinator's worker-supervision snapshot; nil on a
+	// non-coordinator, which omits the fabric families entirely.
+	fabric *sigfim.FabricStats
 }
 
 // fnum renders a float the way Prometheus expects: shortest exact form.
@@ -215,6 +227,52 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap metricsSnapshot) {
 	p("# HELP sigfimd_partial_replicates_total Monte Carlo replicates mined inside served partials.\n")
 	p("# TYPE sigfimd_partial_replicates_total counter\n")
 	p("sigfimd_partial_replicates_total %d\n", m.partialReplicates.Load())
+
+	p("# HELP sigfimd_partials_shed_total Partial requests refused with 503 + Retry-After (draining or over the inflight cap).\n")
+	p("# TYPE sigfimd_partials_shed_total counter\n")
+	p("sigfimd_partials_shed_total %d\n", m.partialsShed.Load())
+
+	if f := snap.fabric; f != nil {
+		p("# HELP sigfimd_fabric_worker_state Remote worker supervision state (1 = the worker is in the labeled state).\n")
+		p("# TYPE sigfimd_fabric_worker_state gauge\n")
+		for _, w := range f.Workers {
+			for _, state := range []string{sigfim.WorkerHealthy, sigfim.WorkerSuspect, sigfim.WorkerEjected} {
+				v := 0
+				if w.State == state {
+					v = 1
+				}
+				p("sigfimd_fabric_worker_state{worker=%q,state=%q} %d\n", w.URL, state, v)
+			}
+		}
+
+		p("# HELP sigfimd_fabric_worker_ranges_total Range dispatches per remote worker by outcome (backoff = honored 503/429 shed responses).\n")
+		p("# TYPE sigfimd_fabric_worker_ranges_total counter\n")
+		for _, w := range f.Workers {
+			p("sigfimd_fabric_worker_ranges_total{worker=%q,outcome=\"success\"} %d\n", w.URL, w.Successes)
+			p("sigfimd_fabric_worker_ranges_total{worker=%q,outcome=\"failure\"} %d\n", w.URL, w.Failures)
+			p("sigfimd_fabric_worker_ranges_total{worker=%q,outcome=\"backoff\"} %d\n", w.URL, w.Backoffs)
+		}
+
+		p("# HELP sigfimd_fabric_worker_ejections_total Circuit-breaker ejections per remote worker.\n")
+		p("# TYPE sigfimd_fabric_worker_ejections_total counter\n")
+		for _, w := range f.Workers {
+			p("sigfimd_fabric_worker_ejections_total{worker=%q} %d\n", w.URL, w.Ejections)
+		}
+
+		p("# HELP sigfimd_fabric_worker_readmissions_total Probe-driven re-admissions per remote worker.\n")
+		p("# TYPE sigfimd_fabric_worker_readmissions_total counter\n")
+		for _, w := range f.Workers {
+			p("sigfimd_fabric_worker_readmissions_total{worker=%q} %d\n", w.URL, w.Readmissions)
+		}
+
+		p("# HELP sigfimd_fabric_hedged_dispatches_total Hedged (duplicate) range dispatches to straggler-shadowing workers.\n")
+		p("# TYPE sigfimd_fabric_hedged_dispatches_total counter\n")
+		p("sigfimd_fabric_hedged_dispatches_total %d\n", f.Hedges)
+
+		p("# HELP sigfimd_fabric_local_fallbacks_total Ranges the coordinator mined locally after exhausting remote attempts.\n")
+		p("# TYPE sigfimd_fabric_local_fallbacks_total counter\n")
+		p("sigfimd_fabric_local_fallbacks_total %d\n", f.LocalFallbacks)
+	}
 
 	p("# HELP sigfimd_job_duration_seconds Wall-clock duration of computed jobs that ended done, by kind (cache hits excluded).\n")
 	p("# TYPE sigfimd_job_duration_seconds histogram\n")

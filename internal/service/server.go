@@ -34,6 +34,9 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"sigfim"
@@ -65,8 +68,21 @@ type Options struct {
 	// every job in-process. Results are bit-identical either way, so the
 	// result cache and the job API are unaffected. Every sigfimd instance
 	// serves POST /v1/partials and can act as a worker — the flag only
-	// controls whether this one fans out.
+	// controls whether this one fans out. The server supervises the listed
+	// workers through one long-lived sigfim.WorkerPool shared by all jobs, so
+	// ejections and probe schedules persist between jobs.
 	RemoteWorkers []string
+	// RemoteTimeout bounds every HTTP round trip to a remote worker — the
+	// per-range deadline (0 = the WorkerPool default of 2 minutes).
+	RemoteTimeout time.Duration
+	// RemoteHedgeDelay, when positive, hedges straggling ranges onto a second
+	// worker after the delay; the first valid partial wins.
+	RemoteHedgeDelay time.Duration
+	// PartialsInflight caps concurrently executing POST /v1/partials requests
+	// before the worker sheds load with 503 + Retry-After (0 = max(8,
+	// 4*GOMAXPROCS); negative = unlimited). Shedding protects a worker that is
+	// also serving its own jobs: the coordinator backs off without ejecting.
+	PartialsInflight int
 	// Logger receives structured request and lifecycle logs; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -88,6 +104,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxUploadBytes == 0 {
 		o.MaxUploadBytes = 1 << 30
 	}
+	if o.PartialsInflight == 0 {
+		o.PartialsInflight = 8
+		if c := 4 * runtime.GOMAXPROCS(0); c > o.PartialsInflight {
+			o.PartialsInflight = c
+		}
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
@@ -103,9 +125,15 @@ type Server struct {
 	metrics   *Metrics
 	log       *slog.Logger
 	maxUpload int64
-	remote    []string
+	pool      *sigfim.WorkerPool // nil unless coordinator mode
 	startedAt time.Time
 	handler   http.Handler
+
+	// partialsInflight counts executing POST /v1/partials requests against
+	// partialsCap (<= 0 disables the cap); over the cap the worker sheds load
+	// with 503 so remote coordinators cannot starve this instance's own jobs.
+	partialsInflight atomic.Int64
+	partialsCap      int64
 }
 
 // New assembles a Server and starts its worker pool.
@@ -114,16 +142,20 @@ func New(opts Options) *Server {
 	reg := NewRegistry()
 	cache := NewResultCache(opts.CacheSize)
 	s := &Server{
-		registry:  reg,
-		cache:     cache,
-		engine:    NewEngine(reg, cache, opts.Workers, opts.QueueCap, opts.JobRetention),
-		remote:    opts.RemoteWorkers,
-		log:       opts.Logger,
-		maxUpload: opts.MaxUploadBytes,
-		startedAt: time.Now().UTC(),
+		registry:    reg,
+		cache:       cache,
+		engine:      NewEngine(reg, cache, opts.Workers, opts.QueueCap, opts.JobRetention),
+		log:         opts.Logger,
+		maxUpload:   opts.MaxUploadBytes,
+		partialsCap: int64(opts.PartialsInflight),
+		startedAt:   time.Now().UTC(),
 	}
 	s.metrics = s.engine.Metrics()
-	s.engine.remoteWorkers = opts.RemoteWorkers
+	if len(opts.RemoteWorkers) > 0 {
+		s.pool = sigfim.NewWorkerPool(opts.RemoteWorkers, sigfim.WorkerPoolOptions{Timeout: opts.RemoteTimeout})
+		s.engine.pool = s.pool
+		s.engine.hedgeDelay = opts.RemoteHedgeDelay
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if !opts.DisableMetrics {
@@ -155,9 +187,18 @@ func (s *Server) Engine() *Engine { return s.engine }
 // Handler returns the HTTP handler, with request logging attached.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Shutdown drains the job engine; see Engine.Shutdown.
+// Pool returns the coordinator's worker supervisor (nil unless coordinator
+// mode is configured).
+func (s *Server) Pool() *sigfim.WorkerPool { return s.pool }
+
+// Shutdown drains the job engine and releases the worker supervisor; see
+// Engine.Shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.engine.Shutdown(ctx)
+	err := s.engine.Shutdown(ctx)
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	return err
 }
 
 // statusRecorder captures the response status for the request log.
@@ -250,6 +291,9 @@ type Stats struct {
 	Datasets      int            `json:"datasets"`
 	Jobs          EngineCounters `json:"jobs"`
 	Cache         CacheStats     `json:"cache"`
+	// Fabric is the worker-supervision snapshot; present only on a
+	// coordinator (Options.RemoteWorkers configured).
+	Fabric *sigfim.FabricStats `json:"fabric,omitempty"`
 }
 
 // CacheStats summarizes the result cache for /v1/stats.
@@ -261,12 +305,17 @@ type CacheStats struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Counters()
-	writeJSON(w, http.StatusOK, Stats{
+	st := Stats{
 		UptimeSeconds: time.Since(s.startedAt).Seconds(),
 		Datasets:      s.registry.Len(),
 		Jobs:          s.engine.Counters(),
 		Cache:         CacheStats{Hits: hits, Misses: misses, Entries: s.cache.Len()},
-	})
+	}
+	if s.pool != nil {
+		fs := s.pool.Snapshot()
+		st.Fabric = &fs
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -300,13 +349,35 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// shedPartial answers a POST /v1/partials with 503 + Retry-After: the
+// worker is draining or over its inflight cap, and the coordinator should
+// back off (not eject) and retry the range elsewhere in the meantime.
+func (s *Server) shedPartial(w http.ResponseWriter, reason string, retryAfter int) {
+	s.metrics.partialShed()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": reason})
+}
+
 // handleMinePartial serves POST /v1/partials: the worker side of the
 // distributed replicate fabric. The request addresses a dataset by content
 // hash and names a replicate range with its per-replicate seeds; the
 // response is the mined partial. Execution is synchronous on the request
 // goroutine (the coordinator bounds its own fan-out concurrency) and honors
-// client disconnects through the request context.
+// client disconnects through the request context. A draining or saturated
+// worker sheds the request with 503 + Retry-After instead of queueing it.
 func (s *Server) handleMinePartial(w http.ResponseWriter, r *http.Request) {
+	if s.engine.Draining() {
+		s.shedPartial(w, "worker draining", 30)
+		return
+	}
+	if s.partialsCap > 0 {
+		if s.partialsInflight.Add(1) > s.partialsCap {
+			s.partialsInflight.Add(-1)
+			s.shedPartial(w, "partials inflight cap reached", 1)
+			return
+		}
+		defer s.partialsInflight.Add(-1)
+	}
 	var req sigfim.PartialRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
@@ -383,14 +454,19 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Counters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, metricsSnapshot{
+	snap := metricsSnapshot{
 		uptimeSeconds: time.Since(s.startedAt).Seconds(),
 		datasets:      s.registry.Len(),
 		jobs:          s.engine.Counters(),
 		cacheHits:     hits,
 		cacheMisses:   misses,
 		cacheEntries:  s.cache.Len(),
-	})
+	}
+	if s.pool != nil {
+		fs := s.pool.Snapshot()
+		snap.fabric = &fs
+	}
+	s.metrics.WritePrometheus(w, snap)
 }
 
 // handleJobEvents serves GET /v1/jobs/{id}/events: a Server-Sent Events

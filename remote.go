@@ -7,8 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
-	"sync/atomic"
+	"strconv"
+	"time"
 
 	"sigfim/internal/mining"
 	"sigfim/internal/montecarlo"
@@ -27,10 +27,22 @@ import (
 // worker executes it, the merged result — and therefore the whole report —
 // is bit-identical to a single-process run.
 //
-// Configure a coordinator with Config.RemoteWorkers; serve the worker side
-// with sigfimd, whose POST /v1/partials endpoint calls MineReplicateRange
-// against its dataset registry. Every sigfimd instance is a capable worker —
-// there is no separate worker binary or mode flag.
+// Failure policy: dispatch goes through a WorkerPool supervisor (see
+// workerpool.go) — every range request carries a hard HTTP deadline, a
+// worker that keeps failing is ejected and stops receiving ranges until a
+// health probe re-admits it, a 503 shed response backs the worker off
+// without ejecting it, a straggling range can be hedged to a second worker
+// (first valid partial wins; safe because partials are deterministic and
+// validated), and a range no worker can serve is mined locally through the
+// identical code path. None of this can change a byte of the result: every
+// partial is validated against its request before it merges, and the merge
+// order is fixed by replicate index regardless of who mined what.
+//
+// Configure a coordinator with Config.RemoteWorkers (or a shared
+// Config.RemotePool); serve the worker side with sigfimd, whose POST
+// /v1/partials endpoint calls MineReplicateRange against its dataset
+// registry. Every sigfimd instance is a capable worker — there is no
+// separate worker binary or mode flag.
 
 // PartialRequest asks a worker to mine one replicate range. It is the body
 // of sigfimd's POST /v1/partials and the input of Dataset.MineReplicateRange;
@@ -135,23 +147,41 @@ func (ds *Dataset) MineReplicateRange(ctx context.Context, req PartialRequest) (
 }
 
 // remoteFabric is the coordinator's RangeRunner: it fans replicate ranges
-// out over the configured sigfimd workers, round-robining the starting
-// worker per range so load spreads, retrying each range on every other
-// worker on failure, and finally falling back to mining the range locally
-// through the identical code path. Safe for concurrent calls.
+// out over the supervised worker pool — each range gets a bounded sequence
+// of attempts against eligible workers (with every attempt under the pool's
+// HTTP deadline, and optionally a hedged duplicate dispatch once the first
+// attempt straggles past hedgeDelay) and finally falls back to mining the
+// range locally through the identical code path. Safe for concurrent calls.
 type remoteFabric struct {
-	ds       *Dataset
-	workers  []string
-	hc       *http.Client
-	template PartialRequest // null model + algorithm; range fields filled per call
-	next     atomic.Uint64  // round-robin cursor over workers
+	ds         *Dataset
+	pool       *WorkerPool
+	hc         *http.Client
+	template   PartialRequest // null model + algorithm; range fields filled per call
+	retries    int            // max remote attempts per range
+	hedgeDelay time.Duration  // 0 disables hedged dispatch
 }
 
-// newRangeRunner builds the montecarlo runner for cfg.RemoteWorkers.
-func (ds *Dataset) newRangeRunner(cfg *Config) montecarlo.RangeRunner {
+// newRangeRunner builds the montecarlo runner for cfg's remote
+// configuration, together with a cleanup that releases any pool the runner
+// had to create itself (a caller-supplied Config.RemotePool is left alone:
+// its owner closes it).
+func (ds *Dataset) newRangeRunner(cfg *Config) (montecarlo.RangeRunner, func()) {
+	pool := cfg.RemotePool
+	cleanup := func() {}
+	if pool == nil {
+		pool = NewWorkerPool(cfg.RemoteWorkers, WorkerPoolOptions{Timeout: cfg.RemoteTimeout})
+		cleanup = pool.Close
+	}
+	retries := cfg.RemoteRetries
+	if retries <= 0 {
+		retries = pool.size()
+	}
 	f := &remoteFabric{
-		ds: ds,
-		hc: http.DefaultClient,
+		ds:         ds,
+		pool:       pool,
+		hc:         pool.client(),
+		retries:    retries,
+		hedgeDelay: cfg.RemoteHedgeDelay,
 		template: PartialRequest{
 			DatasetHash:                ds.Hash(),
 			Algorithm:                  cfg.Algorithm,
@@ -160,18 +190,14 @@ func (ds *Dataset) newRangeRunner(cfg *Config) montecarlo.RangeRunner {
 			SwapProposals:              cfg.SwapProposals,
 		},
 	}
-	for _, w := range cfg.RemoteWorkers {
-		if w = strings.TrimRight(strings.TrimSpace(w), "/"); w != "" {
-			f.workers = append(f.workers, w)
-		}
-	}
-	return f.run
+	return f.run, cleanup
 }
 
-// run executes one range: each worker gets one attempt (starting from the
-// round-robin cursor), then the range runs locally. Only context
-// cancellation aborts without the local fallback — a dead worker costs one
-// failed HTTP round trip, never the job.
+// run executes one range: up to the retry budget of eligible workers are
+// attempted (the supervisor orders them and skips ejected or backed-off
+// ones), then the range runs locally. Only context cancellation aborts
+// without the local fallback — no combination of worker failures can cost
+// the job, and a worker the supervisor has ejected costs nothing at all.
 func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*montecarlo.Partial, error) {
 	wire := f.template
 	wire.From = req.Range.From
@@ -182,25 +208,21 @@ func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*m
 	wire.Workers = req.Workers
 
 	var lastErr error
-	if n := len(f.workers); n > 0 {
-		start := int(f.next.Add(1)-1) % n
-		for i := 0; i < n; i++ {
-			worker := f.workers[(start+i)%n]
-			rp, err := postPartial(ctx, f.hc, worker, wire)
-			if err == nil {
-				p := montecarlo.Partial(*rp)
-				return &p, nil
-			}
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			lastErr = err
+	if candidates := f.pool.pick(f.retries); len(candidates) > 0 {
+		p, err := f.runRemote(ctx, req, wire, candidates)
+		if err == nil {
+			return p, nil
 		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
 	}
+	f.pool.noteLocalFallback()
 	rp, err := f.ds.MineReplicateRange(ctx, wire)
 	if err != nil {
 		if lastErr != nil {
-			return nil, fmt.Errorf("all %d workers failed (last: %v); local fallback: %w", len(f.workers), lastErr, err)
+			return nil, fmt.Errorf("remote attempts failed (last: %v); local fallback: %w", lastErr, err)
 		}
 		return nil, err
 	}
@@ -208,7 +230,93 @@ func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*m
 	return &p, nil
 }
 
+// runRemote walks the candidate workers for one range. Attempts run
+// sequentially on failure; when hedging is enabled, a second attempt is
+// additionally launched in parallel once the current one has straggled past
+// hedgeDelay, and the first valid partial wins (the loser is canceled).
+// Every outcome is reported to the supervisor, except attempts canceled
+// because a sibling already won — losing a hedge race is not a failure.
+func (f *remoteFabric) runRemote(ctx context.Context, req montecarlo.RangeRequest, wire PartialRequest, candidates []string) (*montecarlo.Partial, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attempt struct {
+		p   *montecarlo.Partial
+		url string
+		err error
+	}
+	results := make(chan attempt, len(candidates))
+	next := 0
+	launch := func(hedged bool) {
+		url := candidates[next]
+		next++
+		if hedged {
+			f.pool.noteHedge(url)
+		}
+		go func() {
+			rp, err := postPartial(actx, f.hc, url, wire)
+			var p *montecarlo.Partial
+			if err == nil {
+				pp := montecarlo.Partial(*rp)
+				if verr := pp.Validate(req); verr != nil {
+					err = fmt.Errorf("worker %s: %w", url, verr)
+				} else {
+					p = &pp
+				}
+			}
+			results <- attempt{p: p, url: url, err: err}
+		}()
+	}
+	launch(false)
+	outstanding := 1
+
+	var hedge <-chan time.Time
+	if f.hedgeDelay > 0 && len(candidates) > 1 {
+		t := time.NewTimer(f.hedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedge:
+			hedge = nil
+			if next < len(candidates) {
+				launch(true)
+				outstanding++
+			}
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				f.pool.reportSuccess(r.url)
+				return r.p, nil
+			}
+			f.pool.reportFailure(r.url, r.err)
+			lastErr = r.err
+			if next < len(candidates) {
+				launch(false)
+				outstanding++
+			} else if outstanding == 0 {
+				return nil, lastErr
+			}
+		}
+	}
+}
+
+// maxPartialResponse bounds how many bytes of a worker's 200 response the
+// coordinator will read. Partials for very low floors are large, but a
+// response past this bound is a misbehaving worker, not a bigger partial.
+const maxPartialResponse = 1 << 30
+
 // postPartial performs one POST /v1/partials round trip against a worker.
+// The 200 body is read through a hard size limit, must be exactly one JSON
+// document (trailing garbage — a truncated proxy buffer, a corrupted stream
+// — is rejected), and must echo the requested range before it is accepted;
+// non-2xx responses come back as *workerHTTPError so the supervisor can
+// classify load shedding (503/429 + Retry-After) apart from hard failures.
 func postPartial(ctx context.Context, hc *http.Client, base string, req PartialRequest) (*RangePartial, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -226,17 +334,33 @@ func postPartial(ctx context.Context, hc *http.Client, base string, req PartialR
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		herr := &workerHTTPError{url: base, status: resp.StatusCode}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("worker %s: %s (HTTP %d)", base, e.Error, resp.StatusCode)
+			herr.msg = e.Error
+		} else {
+			herr.msg = string(bytes.TrimSpace(msg))
 		}
-		return nil, fmt.Errorf("worker %s: HTTP %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+		if herr.shedding() {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+				herr.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, herr
 	}
+	dec := json.NewDecoder(io.LimitReader(resp.Body, maxPartialResponse))
 	var rp RangePartial
-	if err := json.NewDecoder(resp.Body).Decode(&rp); err != nil {
+	if err := dec.Decode(&rp); err != nil {
 		return nil, fmt.Errorf("worker %s: decode partial: %w", base, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("worker %s: trailing data after partial JSON document", base)
+	}
+	if rp.From != req.From || rp.To != req.To || rp.K != req.K || rp.Floor > req.Floor {
+		return nil, fmt.Errorf("worker %s: partial echo mismatch: got range [%d,%d) k=%d floor=%d, want [%d,%d) k=%d floor<=%d",
+			base, rp.From, rp.To, rp.K, rp.Floor, req.From, req.To, req.K, req.Floor)
 	}
 	return &rp, nil
 }

@@ -3,6 +3,7 @@ package sigfim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"sigfim/internal/core"
 	"sigfim/internal/mining"
@@ -82,6 +83,34 @@ type Config struct {
 	// RemoteWorkers is set (0 picks a size that keeps a few ranges in flight
 	// per worker). It cannot influence the result.
 	RemoteRangeSize int `json:"-"`
+	// RemoteTimeout bounds every HTTP round trip to a remote worker — the
+	// per-range deadline that keeps a hung worker from stalling a job (0 =
+	// the WorkerPool default of 2 minutes). Ignored when RemotePool is set
+	// (the pool carries its own timeout).
+	RemoteTimeout time.Duration `json:"-"`
+	// RemoteHedgeDelay, when positive, enables hedged dispatch: a range whose
+	// first attempt has not answered within the delay is additionally sent to
+	// a second worker, and the first valid partial wins. Hedging trades
+	// duplicate work for tail latency; it cannot influence the result because
+	// partials are deterministic and validated before merging.
+	RemoteHedgeDelay time.Duration `json:"-"`
+	// RemoteRetries bounds the remote attempts per range before the
+	// coordinator mines the range locally (0 = one attempt per configured
+	// worker).
+	RemoteRetries int `json:"-"`
+	// RemotePool, when non-nil, supplies a caller-owned worker supervisor and
+	// overrides RemoteWorkers/RemoteTimeout. Sharing one pool across analyses
+	// (as a sigfimd coordinator does across jobs) preserves worker-health
+	// state — ejections, backoff schedules, statistics — between runs. The
+	// caller closes it; per-run configs instead list RemoteWorkers and get an
+	// ephemeral pool for the duration of the call.
+	RemotePool *WorkerPool `json:"-"`
+}
+
+// remoteEnabled reports whether the Monte Carlo replicates should shard
+// across the distributed fabric.
+func (c *Config) remoteEnabled() bool {
+	return c != nil && (c.RemotePool != nil || len(c.RemoteWorkers) > 0)
 }
 
 func (c *Config) withDefaults() (core.Options, error) {
@@ -181,8 +210,10 @@ func (ds *Dataset) SignificantCtx(ctx context.Context, k int, cfg *Config) (*Rep
 			Proposals:              cfg.SwapProposals,
 		}
 	}
-	if cfg != nil && len(cfg.RemoteWorkers) > 0 {
-		opts.Runner = ds.newRangeRunner(cfg)
+	if cfg.remoteEnabled() {
+		runner, cleanup := ds.newRangeRunner(cfg)
+		defer cleanup()
+		opts.Runner = runner
 		opts.RangeSize = cfg.RemoteRangeSize
 	}
 	a, err := core.AnalyzeCtx(ctx, "dataset", ds.vertical(), k, opts)
@@ -273,8 +304,10 @@ func (ds *Dataset) FindSMinCtx(ctx context.Context, k int, cfg *Config) (int, er
 		K: k, Delta: opts.Delta, Epsilon: opts.Epsilon, Seed: opts.Seed,
 		Workers: opts.Workers, Algorithm: opts.Algorithm, Progress: opts.Progress,
 	}
-	if cfg != nil && len(cfg.RemoteWorkers) > 0 {
-		mcfg.Runner = ds.newRangeRunner(cfg)
+	if cfg.remoteEnabled() {
+		runner, cleanup := ds.newRangeRunner(cfg)
+		defer cleanup()
+		mcfg.Runner = runner
 		mcfg.RangeSize = cfg.RemoteRangeSize
 	}
 	res, err := montecarlo.FindPoissonThresholdCtx(ctx, m, mcfg)

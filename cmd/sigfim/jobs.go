@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"sigfim/internal/client"
 	"sigfim/internal/service"
+	"sigfim/internal/trace"
 )
 
 // defaultServer resolves the sigfimd base URL: $SIGFIM_SERVER when set,
@@ -22,11 +24,12 @@ func defaultServer() string {
 	return "http://127.0.0.1:8080"
 }
 
-// cmdJobs implements "sigfim jobs <list|get|watch|workers>", a status client
-// for a running sigfimd: list shows every job the server tracks, get prints
-// one job's full status (result included) as JSON, watch consumes the
+// cmdJobs implements "sigfim jobs <list|get|watch|trace|workers>", a status
+// client for a running sigfimd: list shows every job the server tracks, get
+// prints one job's full status (result included) as JSON, watch consumes the
 // server's SSE stream, rendering a live progress line until the job ends,
-// and workers renders a coordinator's worker-supervision table.
+// trace renders a completed job's span tree, and workers renders a
+// coordinator's worker-supervision table.
 func cmdJobs(args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
 		jobsUsage(stderr)
@@ -43,6 +46,8 @@ func cmdJobs(args []string, stdout, stderr io.Writer) error {
 		return jobsGet(rest, stdout, stderr)
 	case "watch":
 		return jobsWatch(rest, stdout, stderr)
+	case "trace":
+		return jobsTrace(rest, stdout, stderr)
 	case "workers":
 		return jobsWorkers(rest, stdout, stderr)
 	}
@@ -52,10 +57,11 @@ func cmdJobs(args []string, stdout, stderr io.Writer) error {
 }
 
 func jobsUsage(w io.Writer) {
-	fmt.Fprintln(w, `usage: sigfim jobs <list|get|watch|workers> [-server URL] [job-id]
+	fmt.Fprintln(w, `usage: sigfim jobs <list|get|watch|trace|workers> [-server URL] [job-id]
   list     list the server's jobs in submission order
   get      print one job's full status (result included) as JSON
   watch    stream a job's progress live (SSE) until it finishes
+  trace    print a completed job's span tree with durations
   workers  show a coordinator's remote-worker supervision state
 -server defaults to $SIGFIM_SERVER, then http://127.0.0.1:8080`)
 }
@@ -117,6 +123,79 @@ func jobsGet(args []string, stdout, stderr io.Writer) error {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(st)
+}
+
+// jobsTrace renders a completed job's trace (GET /v1/jobs/{id}/trace) as an
+// indented span tree: each span's name nested under its parent, with wall
+// duration and attributes. Spans print in start order within each level.
+func jobsTrace(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("jobs trace", stderr)
+	server := fs.String("server", defaultServer(), "sigfimd base URL")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return fmt.Errorf("missing job id (usage: sigfim jobs trace [-server URL] JOB)")
+	}
+	tr, err := client.New(*server, nil).Trace(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trace %s  job %s  (%d spans", tr.TraceID, tr.JobID, len(tr.Spans))
+	if tr.Dropped > 0 {
+		fmt.Fprintf(stdout, ", %d dropped", tr.Dropped)
+	}
+	fmt.Fprintln(stdout, ")")
+	return printSpanTree(stdout, tr)
+}
+
+// printSpanTree writes the trace's spans as an indented tree. A span whose
+// parent is missing (dropped past the recorder's cap) prints at the root
+// level rather than disappearing.
+func printSpanTree(w io.Writer, tr *trace.Trace) error {
+	present := make(map[int]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		present[sp.ID] = true
+	}
+	children := make(map[int][]trace.Span)
+	for _, sp := range tr.Spans {
+		parent := sp.Parent
+		if !present[parent] {
+			parent = 0
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	var walk func(parent, depth int)
+	walk = func(parent, depth int) {
+		for _, sp := range children[parent] {
+			var attrs strings.Builder
+			for i, a := range sp.Attrs {
+				if i > 0 {
+					attrs.WriteByte(' ')
+				}
+				fmt.Fprintf(&attrs, "%s=%s", a.Key, a.Value)
+			}
+			fmt.Fprintf(tw, "%s%s\t%s\t%s\n",
+				strings.Repeat("  ", depth), sp.Name, spanDuration(sp.Duration), attrs.String())
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return tw.Flush()
+}
+
+// spanDuration rounds a span duration to a readable precision by magnitude.
+func spanDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
 }
 
 // jobsWorkers renders the coordinator's fabric supervision table from

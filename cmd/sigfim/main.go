@@ -30,12 +30,19 @@
 //	sigfim rules -in data.dat -minsup 100 [-minconf 0.5] [-beta 0.05] [-top 50]
 //	    Association rules with exact Binomial and Fisher p-values;
 //	    -beta selects the Benjamini-Yekutieli-significant subset.
-//	sigfim jobs <list|get|watch|workers> [-server URL] [job-id]
+//	sigfim jobs <list|get|watch|trace|workers> [-server URL] [job-id]
 //	    Client for a running sigfimd: list jobs, fetch one job's status and
-//	    result, watch a job's live progress over its SSE event stream, or
-//	    show a coordinator's remote-worker supervision table (state, dispatch
-//	    outcomes, ejections, next health probe).
+//	    result, watch a job's live progress over its SSE event stream, print
+//	    a completed job's span tree (see the tracing section of the README),
+//	    or show a coordinator's remote-worker supervision table (state,
+//	    dispatch outcomes, ejections, next health probe).
 //	    -server defaults to $SIGFIM_SERVER, then http://127.0.0.1:8080.
+//
+// The smin and significant subcommands accept -workers-remote-rangesize
+// (auto = size remote ranges from each worker's observed latency, or a fixed
+// positive integer) and -workers-remote-rangetarget (the wall time an
+// autotuned range aims for, default 2s); range size never changes result
+// bytes.
 //
 // Errors go to stderr with a non-zero exit status: 2 for usage errors (bad
 // flags, unknown subcommands), 1 for runtime failures (unreadable input,
@@ -47,6 +54,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"sigfim"
@@ -173,6 +181,20 @@ func splitWorkers(s string) []string {
 	return out
 }
 
+// parseRangeSize maps a -workers-remote-rangesize value onto
+// Config.RemoteRangeSize: "auto" selects latency-driven autotuning (0), a
+// positive integer pins the replicates per remote range.
+func parseRangeSize(v string) (int, error) {
+	if v == "" || v == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid -workers-remote-rangesize %q (want auto or a positive integer)", v)
+	}
+	return n, nil
+}
+
 // parseNull maps a -null flag value onto Config.SwapNull.
 func parseNull(name string) (swap bool, err error) {
 	switch name {
@@ -197,10 +219,16 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 	remote := fs.String("workers-remote", "", "comma-separated sigfimd worker URLs to shard replicates across")
 	remoteTimeout := fs.Duration("workers-remote-timeout", 0, "per-range HTTP deadline for remote workers (0 = 2m)")
 	remoteHedge := fs.Duration("workers-remote-hedge", 0, "hedge a straggling range onto a second worker after this delay (0 disables)")
+	remoteRangeSize := fs.String("workers-remote-rangesize", "auto", "replicates per remote range: auto (latency-driven) or a positive integer")
+	remoteRangeTarget := fs.Duration("workers-remote-rangetarget", 0, "target wall time per autotuned remote range (0 = 2s)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 	swap, err := parseNull(*null)
+	if err != nil {
+		return err
+	}
+	rangeSize, err := parseRangeSize(*remoteRangeSize)
 	if err != nil {
 		return err
 	}
@@ -212,6 +240,7 @@ func cmdSMin(args []string, stdout, stderr io.Writer) error {
 		Delta: *delta, Epsilon: *eps, Seed: *seed, Workers: *workers, Algorithm: *algo,
 		SwapNull: swap, RemoteWorkers: splitWorkers(*remote),
 		RemoteTimeout: *remoteTimeout, RemoteHedgeDelay: *remoteHedge,
+		RemoteRangeSize: rangeSize, RemoteRangeTarget: *remoteRangeTarget,
 	})
 	if err != nil {
 		return err
@@ -238,10 +267,16 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 	remote := fs.String("workers-remote", "", "comma-separated sigfimd worker URLs to shard replicates across")
 	remoteTimeout := fs.Duration("workers-remote-timeout", 0, "per-range HTTP deadline for remote workers (0 = 2m)")
 	remoteHedge := fs.Duration("workers-remote-hedge", 0, "hedge a straggling range onto a second worker after this delay (0 disables)")
+	remoteRangeSize := fs.String("workers-remote-rangesize", "auto", "replicates per remote range: auto (latency-driven) or a positive integer")
+	remoteRangeTarget := fs.Duration("workers-remote-rangetarget", 0, "target wall time per autotuned remote range (0 = 2s)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 	swap, err := parseNull(*null)
+	if err != nil {
+		return err
+	}
+	rangeSize, err := parseRangeSize(*remoteRangeSize)
 	if err != nil {
 		return err
 	}
@@ -255,6 +290,7 @@ func cmdSignificant(args []string, stdout, stderr io.Writer) error {
 		SwapNull: swap, SwapProposalsPerOccurrence: *swapPPO, SwapProposals: *swapProposals,
 		RemoteWorkers: splitWorkers(*remote),
 		RemoteTimeout: *remoteTimeout, RemoteHedgeDelay: *remoteHedge,
+		RemoteRangeSize: rangeSize, RemoteRangeTarget: *remoteRangeTarget,
 	})
 	if err != nil {
 		return err

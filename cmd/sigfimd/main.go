@@ -9,7 +9,8 @@
 //	        [-cache N] [-max-upload BYTES] [-metrics=false]
 //	        [-workers-remote http://h1:8080,http://h2:8080]
 //	        [-workers-remote-timeout 2m] [-workers-remote-hedge 500ms]
-//	        [-partials-inflight N]
+//	        [-workers-remote-rangesize auto|N] [-workers-remote-rangetarget 2s]
+//	        [-partials-inflight N] [-trace-retention N] [-debug-addr :6060]
 //
 // Each -data flag registers one FIMI file (gzip detected transparently)
 // under a name before the server starts listening. Quickstart:
@@ -41,6 +42,17 @@
 // instance can act as a worker — the flag only controls whether this one
 // fans out; -partials-inflight bounds how many partials a worker mines
 // concurrently before it sheds load with 503 + Retry-After.
+// -workers-remote-rangesize pins the replicates per dispatched range, or
+// (the "auto" default) sizes ranges from each worker's observed latency so a
+// range takes about -workers-remote-rangetarget of wall time; either way the
+// result bytes are unchanged.
+//
+// Every job records a span trace — queue wait, dataset warm-up, Monte Carlo
+// phases, per-range fabric dispatches — served at GET /v1/jobs/{id}/trace
+// and rendered by "sigfim jobs trace JOB"; -trace-retention bounds how many
+// completed traces are kept (LRU, default 128). -debug-addr starts an
+// opt-in net/http/pprof listener on a separate address (keep it private: it
+// exposes profiling data and is deliberately not on the API listener).
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight HTTP requests and
 // running jobs are drained (up to a timeout), queued jobs are canceled.
@@ -54,8 +66,10 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -101,7 +115,11 @@ func run(args []string, stderr io.Writer) int {
 	workersRemote := fs.String("workers-remote", "", "comma-separated sigfimd worker base URLs to shard Monte Carlo replicates across (coordinator mode)")
 	remoteTimeout := fs.Duration("workers-remote-timeout", 0, "per-range HTTP deadline for remote workers (0 = 2m)")
 	remoteHedge := fs.Duration("workers-remote-hedge", 0, "hedge a straggling range onto a second worker after this delay (0 disables)")
+	remoteRangeSize := fs.String("workers-remote-rangesize", "auto", "replicates per remote range: auto (latency-driven) or a positive integer")
+	remoteRangeTarget := fs.Duration("workers-remote-rangetarget", 0, "target wall time per autotuned remote range (0 = 2s)")
 	partialsInflight := fs.Int("partials-inflight", 0, "max concurrent POST /v1/partials before shedding with 503 (0 = max(8, 4*GOMAXPROCS), negative = unlimited)")
+	traceRetention := fs.Int("trace-retention", 0, "completed job traces kept for GET /v1/jobs/{id}/trace (0 = 128, negative disables)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables; keep private)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	var data dataFlags
 	fs.Var(&data, "data", "register dataset as name=path (repeatable)")
@@ -118,19 +136,31 @@ func run(args []string, stderr io.Writer) int {
 			remote = append(remote, w)
 		}
 	}
+	rangeSize := 0
+	if v := *remoteRangeSize; v != "" && v != "auto" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			fmt.Fprintf(stderr, "sigfimd: invalid -workers-remote-rangesize %q (want auto or a positive integer)\n", v)
+			return 2
+		}
+		rangeSize = n
+	}
 
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	srv := service.New(service.Options{
-		Workers:          *workers,
-		QueueCap:         *queue,
-		CacheSize:        *cacheSize,
-		MaxUploadBytes:   *maxUpload,
-		DisableMetrics:   !*metricsOn,
-		RemoteWorkers:    remote,
-		RemoteTimeout:    *remoteTimeout,
-		RemoteHedgeDelay: *remoteHedge,
-		PartialsInflight: *partialsInflight,
-		Logger:           logger,
+		Workers:           *workers,
+		QueueCap:          *queue,
+		CacheSize:         *cacheSize,
+		MaxUploadBytes:    *maxUpload,
+		DisableMetrics:    !*metricsOn,
+		RemoteWorkers:     remote,
+		RemoteTimeout:     *remoteTimeout,
+		RemoteHedgeDelay:  *remoteHedge,
+		RemoteRangeSize:   rangeSize,
+		RemoteRangeTarget: *remoteRangeTarget,
+		PartialsInflight:  *partialsInflight,
+		TraceRetention:    *traceRetention,
+		Logger:            logger,
 	})
 	for _, e := range data {
 		info, err := srv.Registry().RegisterFile(e.name, e.path)
@@ -140,6 +170,27 @@ func run(args []string, stderr io.Writer) int {
 		}
 		logger.Info("dataset registered", "name", info.Name, "hash", info.Hash,
 			"transactions", info.NumTransactions, "items", info.NumItems)
+	}
+
+	// The pprof surface is opt-in and on its own listener so profiling
+	// endpoints are never reachable through the API address. The explicit
+	// mux avoids http.DefaultServeMux (and the side-effect registration a
+	// blank pprof import would do on it).
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		defer dbg.Close()
+		logger.Info("pprof debug listener", "addr", *debugAddr)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

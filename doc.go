@@ -163,6 +163,24 @@
 // coordinator keeps one pool across all jobs so health state persists
 // between them.
 //
+// Observability closes the loop on the fabric. Every job records a span
+// trace (internal/trace, dependency-free): queue wait, dataset warm-up, the
+// Monte Carlo phases, each s̃-halving iteration, and one span per dispatched
+// replicate range with its per-worker attempts (URL, attempt number, hedged
+// flag, outcome). The recorder rides the context, is nil-safe, and is pure
+// observation — trace_noninterference_test.go pins that tracing on or off
+// yields byte-identical reports. Traces propagate to workers in the
+// X-Sigfim-Trace header so worker logs correlate by trace_id/job_id, are
+// retained in a bounded LRU, and are served at GET /v1/jobs/{id}/trace
+// ("sigfim jobs trace" renders the tree). The same per-worker latency that
+// the trace records feeds a range-latency histogram and EWMA
+// (sigfimd_fabric_range_seconds, sigfimd_fabric_replicate_seconds_ewma),
+// and when Config.RemoteRangeSize is 0 the pool autotunes range sizes from
+// that EWMA toward Config.RemoteRangeTarget of wall time per range
+// (default 2s, clamped to [1, Delta/workers]) — sizing changes batching
+// only, never bytes. An opt-in net/http/pprof listener (sigfimd
+// -debug-addr) completes the surface.
+//
 // # Null models
 //
 // Two null models ship with the package, and both are first-class citizens

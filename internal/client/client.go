@@ -17,6 +17,7 @@ import (
 
 	"sigfim"
 	"sigfim/internal/service"
+	"sigfim/internal/trace"
 )
 
 // Client calls one sigfimd server. Construct with New; the zero value has no
@@ -137,6 +138,17 @@ func (c *Client) Partial(ctx context.Context, req sigfim.PartialRequest) (*sigfi
 		return nil, err
 	}
 	return &p, nil
+}
+
+// Trace returns a completed job's span tree (GET /v1/jobs/{id}/trace).
+// Traces are retained in a bounded LRU store, so a job the server still
+// lists can 404 here once its trace has been evicted.
+func (c *Client) Trace(ctx context.Context, id string) (*trace.Trace, error) {
+	var tr trace.Trace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // Cancel requests cancellation of a job and returns its status.

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"sigfim/internal/dataset"
 	"sigfim/internal/mining"
 	"sigfim/internal/randmodel"
 	"sigfim/internal/stats"
+	"sigfim/internal/trace"
 )
 
 // The replicate fabric: Algorithm 1's Delta Monte Carlo replicates are
@@ -168,6 +170,14 @@ type RangeRunner func(ctx context.Context, req RangeRequest) (*Partial, error)
 type RangeScratch struct {
 	scratch *mining.Scratch
 	v       *dataset.Vertical
+
+	// Timing, when set, makes MineRange split each replicate's wall time
+	// into dataset generation (GenNanos) versus mining (MineNanos),
+	// accumulated across calls. Pure observation for tracing: it reads the
+	// clock twice per replicate and can never influence the mined partial.
+	Timing    bool
+	GenNanos  int64
+	MineNanos int64
 }
 
 // NewRangeScratch returns an empty scratch.
@@ -201,12 +211,23 @@ func MineRange(ctx context.Context, m randmodel.Model, req RangeRequest, scr *Ra
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		var t0, t1 time.Time
+		if scr.Timing {
+			t0 = time.Now()
+		}
 		scr.v = randmodel.GenerateReusing(m, stats.NewRNG(req.Seeds[i]), scr.v)
+		if scr.Timing {
+			t1 = time.Now()
+			scr.GenNanos += t1.Sub(t0).Nanoseconds()
+		}
 		before := len(out.Sups)
 		mining.VisitKAlgoScratch(scr.v, req.K, req.Floor, intra, req.Algorithm, scr.scratch, func(items mining.Itemset, sup int) {
 			out.Items = append(out.Items, items...)
 			out.Sups = append(out.Sups, int32(sup))
 		})
+		if scr.Timing {
+			scr.MineNanos += time.Since(t1).Nanoseconds()
+		}
 		out.Counts = append(out.Counts, int32(len(out.Sups)-before))
 	}
 	return nil
@@ -236,7 +257,9 @@ func splitRanges(delta, size int) []ReplicateRange {
 // schedule as a single-process run, so the collection is bit-identical
 // regardless of how replicates were grouped into ranges. minFloor receives
 // the raised prune floor as a mining shortcut for ranges not yet claimed.
-func mergePartial(col *collection, p *Partial, k, softCap, floor, total int, cfg Config, raiseFloor func(int)) error {
+// Each adaptive prune records a montecarlo.prune span when ctx carries a
+// trace recorder.
+func mergePartial(ctx context.Context, col *collection, p *Partial, k, softCap, floor, total int, cfg Config, raiseFloor func(int)) error {
 	off := 0
 	for ri := 0; ri < p.To-p.From; ri++ {
 		rep := p.From + ri
@@ -258,8 +281,13 @@ func mergePartial(col *collection, p *Partial, k, softCap, floor, total int, cfg
 		}
 		off += cnt
 		if col.numEntry > softCap {
+			entriesBefore := col.numEntry
+			pruneStart := time.Now()
 			col.prune(softCap / 2)
 			raiseFloor(col.pruneFloor)
+			trace.Add(ctx, "montecarlo.prune", pruneStart, time.Since(pruneStart),
+				trace.Int("replicate", rep), trace.Int("entries_before", entriesBefore),
+				trace.Int("entries_after", col.numEntry), trace.Int("floor_after", col.pruneFloor))
 		}
 		if col.numEntry > cfg.MaxEntries {
 			return fmt.Errorf("montecarlo: entry budget %d exceeded at replicate %d (floor %d too low)", cfg.MaxEntries, rep, floor)

@@ -29,10 +29,12 @@ import (
 	"runtime"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"sigfim/internal/mining"
 	"sigfim/internal/randmodel"
 	"sigfim/internal/stats"
+	"sigfim/internal/trace"
 )
 
 // Config parameterizes Algorithm 1.
@@ -312,8 +314,11 @@ func FindPoissonThresholdCtx(ctx context.Context, m randmodel.Model, cfg Config)
 			return nil, fmt.Errorf("montecarlo: exceeded %d s-tilde halvings", cfg.MaxHalvings)
 		}
 		floor := floorOf(sTilde)
-		col, err := mineAll(ctx, m, seeds, floor, cfg)
+		hctx, hsp := trace.Start(ctx, "montecarlo.halving",
+			trace.Int("halving", halving), trace.Int("floor", floor))
+		col, err := mineAll(hctx, m, seeds, floor, cfg)
 		if err != nil {
+			hsp.End(trace.String("outcome", "error"))
 			return nil, err
 		}
 		if col.numEntry == 0 {
@@ -325,9 +330,11 @@ func FindPoissonThresholdCtx(ctx context.Context, m randmodel.Model, cfg Config)
 				res.Floor = floor
 				res.SMax = floor + 1
 				finishResult(res, col)
+				hsp.End(trace.String("outcome", "accept-floor"))
 				return res, nil
 			}
 			sTilde /= 2
+			hsp.End(trace.String("outcome", "halve"))
 			continue
 		}
 		ev := newEvaluator(col, cfg.Delta)
@@ -351,21 +358,27 @@ func FindPoissonThresholdCtx(ctx context.Context, m randmodel.Model, cfg Config)
 					res.Floor = floor
 					res.SMax = col.maxSup + 1
 					finishResult(res, col)
+					hsp.End(trace.String("outcome", "accept-floor"))
 					return res, nil
 				}
 				sTilde /= 2
 				res.Curve = res.Curve[:0]
+				hsp.End(trace.String("outcome", "halve"))
 				continue
 			}
 		}
 		// Search (effFloor, smax] for the crossing, galloping down from smax.
 		smax := col.maxSup + 1
+		_, ssp := trace.Start(hctx, "montecarlo.search",
+			trace.Int("floor", effFloor), trace.Int("smax", smax))
 		sMin := searchCrossing(ev, effFloor, smax, epsQuarter, res)
+		ssp.End(trace.Int("smin", sMin), trace.Int("evaluations", len(res.Curve)))
 		res.SMin = sMin
 		res.STilde = sTilde
 		res.Floor = effFloor
 		res.SMax = smax
 		finishResult(res, col)
+		hsp.End(trace.String("outcome", "done"), trace.Int("smin", sMin))
 		return res, nil
 	}
 }
@@ -518,6 +531,18 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 		inflight = len(ranges)
 	}
 
+	// The montecarlo.mine span covers the whole fan-out: its children are
+	// the per-range fabric spans (remote execution) and any prune spans; its
+	// closing attrs aggregate where the wall time went. traced gates the
+	// measurement work so an untraced run touches the clock no more than
+	// before.
+	traced := trace.Enabled(ctx)
+	ctx, msp := trace.Start(ctx, "montecarlo.mine",
+		trace.Int("replicates", len(seeds)), trace.Int("floor", floor),
+		trace.Int("range_size", rangeSize), trace.Int("ranges", len(ranges)),
+		trace.Int("inflight", inflight))
+	var genNanos, mineNanos atomic.Int64
+
 	// Executors mine ranges at the floor known when the range was claimed;
 	// the merge re-filters against the current (possibly higher) prune
 	// floor. minFloor is read atomically as a mining shortcut only —
@@ -545,6 +570,7 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 			var scr *RangeScratch
 			if cfg.Runner == nil {
 				scr = NewRangeScratch()
+				scr.Timing = traced
 			}
 			for {
 				// Cancellation checkpoint: stop claiming ranges once the
@@ -581,31 +607,53 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 				default:
 					out = &Partial{}
 				}
+				g0, m0 := scr.GenNanos, scr.MineNanos
 				err := MineRange(ctx, m, req, scr, out)
+				if traced {
+					genNanos.Add(scr.GenNanos - g0)
+					mineNanos.Add(scr.MineNanos - m0)
+				}
 				outputs[idx] <- rangeResult{p: out, err: err}
 			}
 		}()
 	}
 
+	// stall/maxStall accumulate how long the ordered merge sat waiting for
+	// the next-in-order range — the straggler signal a trace makes visible.
+	var stall, maxStall time.Duration
 	for idx, rg := range ranges {
 		var res rangeResult
+		var waitStart time.Time
+		if traced {
+			waitStart = time.Now()
+		}
 		select {
 		case res = <-outputs[idx]:
 		case <-ctx.Done():
 			// Range boundary cancellation: abandon the merge without
 			// touching the partially built collection again. Executors drain
 			// themselves via the ctx check above.
+			msp.End(trace.String("outcome", "canceled"))
 			return nil, ctx.Err()
 		}
+		if traced {
+			w := time.Since(waitStart)
+			stall += w
+			if w > maxStall {
+				maxStall = w
+			}
+		}
 		if res.err != nil {
+			msp.End(trace.String("outcome", "error"))
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			return nil, fmt.Errorf("montecarlo: replicate range [%d,%d): %w", rg.From, rg.To, res.err)
 		}
-		if err := mergePartial(col, res.p, k, softCap, floor, len(seeds), cfg, func(f int) {
+		if err := mergePartial(ctx, col, res.p, k, softCap, floor, len(seeds), cfg, func(f int) {
 			minFloor.Store(int64(f))
 		}); err != nil {
+			msp.End(trace.String("outcome", "error"))
 			return nil, err
 		}
 		if cfg.Runner == nil {
@@ -615,5 +663,10 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 			}
 		}
 	}
+	msp.End(trace.String("outcome", "ok"), trace.Int("entries", col.numEntry),
+		trace.Int("generate_ms", int(genNanos.Load()/1e6)),
+		trace.Int("mine_ms", int(mineNanos.Load()/1e6)),
+		trace.Int("merge_wait_ms", int(stall.Milliseconds())),
+		trace.Int("merge_wait_max_ms", int(maxStall.Milliseconds())))
 	return col, nil
 }

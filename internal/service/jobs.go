@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sigfim"
 	"sigfim/internal/mining"
+	"sigfim/internal/trace"
 )
 
 // Sentinel error classes; the HTTP layer maps them to status codes.
@@ -161,6 +163,19 @@ type Engine struct {
 	// straggling ranges when positive.
 	pool       *sigfim.WorkerPool
 	hedgeDelay time.Duration
+	// rangeSize and rangeTarget configure replicate-range sizing in
+	// coordinator mode: rangeSize 0 autotunes from the pool's observed
+	// per-worker latency, aiming at rangeTarget of wall time per range.
+	// Like pool, they are deployment concerns, set once before the first
+	// submission and absent from cache keys.
+	rangeSize   int
+	rangeTarget time.Duration
+
+	// traces retains the last N completed job traces (nil disables
+	// tracing); log, when non-nil, carries job lifecycle lines tagged with
+	// job_id and trace_id. Both are set by the server before any submission.
+	traces *trace.Store
+	log    *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -403,6 +418,14 @@ func (e *Engine) Submit(req JobRequest) (JobStatus, error) {
 		e.cacheHits.Add(1)
 		e.completed.Add(1)
 		e.metrics.jobFinished(j.req.Kind, StateDone, 0, false)
+		// A cache hit still gets a (one-span) trace so `jobs trace` works
+		// uniformly on any completed job.
+		rec := trace.NewRecorder(j.id)
+		rec.AddRoot("job", j.createdAt, 0,
+			trace.String("kind", j.req.Kind), trace.String("dataset", j.req.Dataset),
+			trace.String("dataset_hash", j.dsHash), trace.Int("k", j.req.K),
+			trace.String("state", string(StateDone)), trace.String("cache", "hit"))
+		e.traces.Put(j.id, rec.Snapshot())
 		e.jobs[j.id] = j
 		e.order = append(e.order, j.id)
 		e.evictLocked()
@@ -482,6 +505,23 @@ func (e *Engine) run(j *job) {
 	defer e.inFlight.Add(-1)
 	e.events.publish(j.id, JobEvent{Type: EventState, Status: running})
 
+	// Every computed job records a trace: the recorder rides the context
+	// through the public API into the Monte Carlo phases and the range
+	// fabric, and the completed span set is retained in the trace store.
+	// Tracing is pure observation — result bytes are identical with it on
+	// or off — so there is no per-job opt-in.
+	rec := trace.NewRecorder(j.id)
+	ctx = trace.NewContext(ctx, rec)
+	ctx, root := trace.Start(ctx, "job",
+		trace.String("kind", j.req.Kind), trace.String("dataset", j.req.Dataset),
+		trace.String("dataset_hash", j.dsHash), trace.Int("k", j.req.K))
+	trace.Add(ctx, "queued", j.createdAt, j.startedAt.Sub(j.createdAt))
+	jlog := e.log
+	if jlog != nil {
+		jlog = jlog.With("job_id", j.id, "trace_id", rec.TraceID())
+		jlog.Info("job running", "kind", j.req.Kind, "dataset", j.req.Dataset, "k", j.req.K)
+	}
+
 	var cfg sigfim.Config
 	if j.req.Config != nil {
 		cfg = *j.req.Config // copy: the engine attaches its own Progress
@@ -491,6 +531,8 @@ func (e *Engine) run(j *job) {
 	// workers — this assignment is the only source.
 	cfg.RemotePool = e.pool
 	cfg.RemoteHedgeDelay = e.hedgeDelay
+	cfg.RemoteRangeSize = e.rangeSize
+	cfg.RemoteRangeTarget = e.rangeTarget
 	cfg.Progress = func(done, total int) {
 		d := int64(done)
 		prev := j.progressDone.Swap(d)
@@ -546,8 +588,22 @@ func (e *Engine) run(j *job) {
 	}
 	final := e.statusLocked(j, true)
 	e.mu.Unlock()
+	root.End(trace.String("state", string(final.State)))
+	e.traces.Put(j.id, rec.Snapshot())
+	if jlog != nil {
+		jlog.Info("job finished", "state", final.State,
+			"duration_ms", j.finishedAt.Sub(j.startedAt).Milliseconds())
+	}
 	e.metrics.jobFinished(j.req.Kind, final.State, j.finishedAt.Sub(j.startedAt), true)
 	e.events.publish(j.id, JobEvent{Type: EventState, Status: final})
+}
+
+// Trace returns the retained trace of a completed job. The trace store is
+// bounded independently of job-record retention, so a job may still be
+// queryable after its trace was evicted (and a trace may outlive its job
+// record).
+func (e *Engine) Trace(id string) (*trace.Trace, bool) {
+	return e.traces.Get(id)
 }
 
 // publishProgress emits a coalescable progress frame for a running job. It

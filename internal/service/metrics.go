@@ -272,6 +272,37 @@ func (m *Metrics) WritePrometheus(w io.Writer, snap metricsSnapshot) {
 		p("# HELP sigfimd_fabric_local_fallbacks_total Ranges the coordinator mined locally after exhausting remote attempts.\n")
 		p("# TYPE sigfimd_fabric_local_fallbacks_total counter\n")
 		p("sigfimd_fabric_local_fallbacks_total %d\n", f.LocalFallbacks)
+
+		p("# HELP sigfimd_fabric_range_seconds Wall-clock latency of range dispatches per remote worker (successes and hedge-loser cancellations).\n")
+		p("# TYPE sigfimd_fabric_range_seconds histogram\n")
+		for _, w := range f.Workers {
+			rl := w.RangeLatency
+			if rl == nil {
+				continue
+			}
+			var cum uint64
+			for b, le := range sigfim.RangeLatencyBuckets {
+				if b < len(rl.Buckets) {
+					cum += rl.Buckets[b]
+				}
+				p("sigfimd_fabric_range_seconds_bucket{worker=%q,le=%q} %d\n", w.URL, fnum(le), cum)
+			}
+			if n := len(sigfim.RangeLatencyBuckets); n < len(rl.Buckets) {
+				cum += rl.Buckets[n]
+			}
+			p("sigfimd_fabric_range_seconds_bucket{worker=%q,le=\"+Inf\"} %d\n", w.URL, cum)
+			p("sigfimd_fabric_range_seconds_sum{worker=%q} %s\n", w.URL, fnum(rl.SumSeconds))
+			p("sigfimd_fabric_range_seconds_count{worker=%q} %d\n", w.URL, cum)
+		}
+
+		p("# HELP sigfimd_fabric_replicate_seconds_ewma Exponentially weighted moving average of seconds per replicate on successful ranges, per remote worker (drives range-size autotuning).\n")
+		p("# TYPE sigfimd_fabric_replicate_seconds_ewma gauge\n")
+		for _, w := range f.Workers {
+			if w.RangeLatency == nil || w.RangeLatency.EWMAReplicateSeconds == 0 {
+				continue
+			}
+			p("sigfimd_fabric_replicate_seconds_ewma{worker=%q} %s\n", w.URL, fnum(w.RangeLatency.EWMAReplicateSeconds))
+		}
 	}
 
 	p("# HELP sigfimd_job_duration_seconds Wall-clock duration of computed jobs that ended done, by kind (cache hits excluded).\n")

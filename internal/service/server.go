@@ -23,6 +23,7 @@
 //	POST   /v1/jobs              submit an analysis job (JobRequest)
 //	GET    /v1/jobs/{id}         job status / progress / result
 //	GET    /v1/jobs/{id}/events  live job stream (Server-Sent Events)
+//	GET    /v1/jobs/{id}/trace   completed job's span tree (see internal/trace)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 package service
 
@@ -36,10 +37,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"sigfim"
+	"sigfim/internal/trace"
 )
 
 // Options configures a Server; the zero value selects sensible defaults.
@@ -78,6 +81,20 @@ type Options struct {
 	// RemoteHedgeDelay, when positive, hedges straggling ranges onto a second
 	// worker after the delay; the first valid partial wins.
 	RemoteHedgeDelay time.Duration
+	// RemoteRangeSize pins the replicates per dispatched range in
+	// coordinator mode; 0 autotunes from observed per-worker latency
+	// (targeting RemoteRangeTarget of wall time per range) once the pool has
+	// seen a successful range, with a static heuristic before that. Range
+	// size can never change result bytes.
+	RemoteRangeSize int
+	// RemoteRangeTarget is the per-range wall time autotuned sizing aims
+	// for (0 = 2s).
+	RemoteRangeTarget time.Duration
+	// TraceRetention bounds how many completed job traces are retained for
+	// GET /v1/jobs/{id}/trace (default 128; negative disables tracing).
+	// Traces evict LRU independently of job records, so a queryable job may
+	// answer 404 for its trace once it ages out of the store.
+	TraceRetention int
 	// PartialsInflight caps concurrently executing POST /v1/partials requests
 	// before the worker sheds load with 503 + Retry-After (0 = max(8,
 	// 4*GOMAXPROCS); negative = unlimited). Shedding protects a worker that is
@@ -109,6 +126,9 @@ func (o Options) withDefaults() Options {
 		if c := 4 * runtime.GOMAXPROCS(0); c > o.PartialsInflight {
 			o.PartialsInflight = c
 		}
+	}
+	if o.TraceRetention == 0 {
+		o.TraceRetention = 128
 	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
@@ -151,6 +171,10 @@ func New(opts Options) *Server {
 		startedAt:   time.Now().UTC(),
 	}
 	s.metrics = s.engine.Metrics()
+	s.engine.log = opts.Logger
+	s.engine.traces = trace.NewStore(opts.TraceRetention)
+	s.engine.rangeSize = opts.RemoteRangeSize
+	s.engine.rangeTarget = opts.RemoteRangeTarget
 	if len(opts.RemoteWorkers) > 0 {
 		s.pool = sigfim.NewWorkerPool(opts.RemoteWorkers, sigfim.WorkerPoolOptions{Timeout: opts.RemoteTimeout})
 		s.engine.pool = s.pool
@@ -170,6 +194,7 @@ func New(opts Options) *Server {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.handler = s.logged(mux)
 	return s
@@ -233,21 +258,47 @@ func (r *statusRecorder) Flush() {
 func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // logged wraps a handler with structured request logging and the HTTP
-// response counter.
+// response counter. Every log line carries whatever correlation ids the
+// request exposes — job_id from the X-Sigfim-Job header (worker side) or
+// the /v1/jobs/{id} path (API side), trace_id and the coordinator's parent
+// span from X-Sigfim-Trace — so one grep by job_id collects a job's request
+// lines across the coordinator and every worker it fanned out to.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
 		s.metrics.observeHTTP(rec.status)
-		s.log.Info("request",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
 			"bytes", rec.bytes,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000,
-		)
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if jid := requestJobID(r); jid != "" {
+			attrs = append(attrs, "job_id", jid)
+		}
+		if tid, sid, ok := trace.ParseHeader(r.Header.Get(trace.Header)); ok {
+			attrs = append(attrs, "trace_id", tid, "parent_span", sid)
+		}
+		s.log.Info("request", attrs...)
 	})
+}
+
+// requestJobID extracts the job a request concerns: the X-Sigfim-Job header
+// a coordinator stamps on fabric dispatches, or the {id} segment of a
+// /v1/jobs/{id}... path. Empty when the request names no job.
+func requestJobID(r *http.Request) string {
+	if jid := r.Header.Get(trace.JobHeader); jid != "" {
+		return jid
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/jobs/")
+	if !ok {
+		return ""
+	}
+	id, _, _ := strings.Cut(rest, "/")
+	return id
 }
 
 // writeJSON writes a JSON response body with the given status.
@@ -394,6 +445,7 @@ func (s *Server) handleMinePartial(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: no dataset with hash %s", ErrNotFound, req.DatasetHash))
 		return
 	}
+	mineStart := time.Now()
 	p, err := ds.MineReplicateRange(r.Context(), req)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -403,6 +455,16 @@ func (s *Server) handleMinePartial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.partialServed(int64(req.To - req.From))
+	plog := s.log
+	if jid := r.Header.Get(trace.JobHeader); jid != "" {
+		plog = plog.With("job_id", jid)
+	}
+	if tid, sid, ok := trace.ParseHeader(r.Header.Get(trace.Header)); ok {
+		plog = plog.With("trace_id", tid, "parent_span", sid)
+	}
+	plog.Info("partial mined",
+		"from", req.From, "to", req.To, "floor", req.Floor,
+		"duration_ms", float64(time.Since(mineStart).Microseconds())/1000)
 	writeJSON(w, http.StatusOK, p)
 }
 
@@ -440,6 +502,20 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the completed job's span
+// tree. Traces live in a bounded LRU store separate from job records, so an
+// id can answer 404 here (trace evicted, job never traced, or job still
+// running) while GET /v1/jobs/{id} still answers 200.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.engine.Trace(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no trace for job %q", ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {

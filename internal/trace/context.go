@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"context"
+	"time"
+)
+
+// ctxKey carries the recorder plus the ID of the span currently open in
+// this context branch (0 = no enclosing span).
+type ctxKey struct{}
+
+type ctxVal struct {
+	rec    *Recorder
+	spanID int
+}
+
+// NewContext returns ctx carrying rec as the active recorder. Spans
+// started from the returned context are roots until Start nests them.
+func NewContext(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: rec})
+}
+
+// FromContext returns the recorder in ctx, or nil.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := fromContext(ctx)
+	return r
+}
+
+func fromContext(ctx context.Context) (*Recorder, int) {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok {
+		return nil, 0
+	}
+	return v.rec, v.spanID
+}
+
+// Enabled reports whether ctx carries a recorder. Hot paths may use it to
+// skip measurement work entirely when no one is listening.
+func Enabled(ctx context.Context) bool {
+	return FromContext(ctx) != nil
+}
+
+// Start opens a span named name as a child of the span current in ctx and
+// returns a context in which the new span is current. When ctx carries no
+// recorder the original context and a nil handle come back, and the nil
+// handle's methods are no-ops.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Active) {
+	rec, parent := fromContext(ctx)
+	if rec == nil {
+		return ctx, nil
+	}
+	a := &Active{rec: rec, id: rec.startID(), start: time.Now(), name: name, prnt: parent, attrs: attrs}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: rec, spanID: a.id}), a
+}
+
+// HeaderValue renders the current trace context of ctx for the
+// X-Sigfim-Trace header, or "" when ctx carries no recorder.
+func HeaderValue(ctx context.Context) string {
+	rec, spanID := fromContext(ctx)
+	if rec == nil {
+		return ""
+	}
+	return FormatHeader(rec.traceID, spanID)
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a bounded LRU map from job ID to completed Trace. The service
+// keeps one to retain the last N job traces; eviction is independent of
+// job-record retention, so a trace can be gone while the job's status and
+// result are still queryable (and vice versa).
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byID     map[string]*list.Element
+}
+
+type storeItem struct {
+	id string
+	tr *Trace
+}
+
+// NewStore returns a store retaining up to capacity traces; capacity <= 0
+// disables retention (every Put is dropped, every Get misses).
+func NewStore(capacity int) *Store {
+	return &Store{
+		capacity: capacity,
+		ll:       list.New(),
+		byID:     make(map[string]*list.Element),
+	}
+}
+
+// Put stores tr under job ID id, evicting the least recently used trace
+// when over capacity. Re-putting an ID replaces its trace.
+func (s *Store) Put(id string, tr *Trace) {
+	if s == nil || s.capacity <= 0 || tr == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		el.Value.(*storeItem).tr = tr
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.byID[id] = s.ll.PushFront(&storeItem{id: id, tr: tr})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.byID, oldest.Value.(*storeItem).id)
+	}
+}
+
+// Get returns the trace for job id, marking it most recently used.
+func (s *Store) Get(id string) (*Trace, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*storeItem).tr, true
+}
+
+// Len returns the number of retained traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}

@@ -13,6 +13,7 @@ import (
 	"sigfim/internal/mining"
 	"sigfim/internal/montecarlo"
 	"sigfim/internal/randmodel"
+	"sigfim/internal/trace"
 )
 
 // The distributed replicate fabric. Algorithm 1's Delta Monte Carlo
@@ -162,10 +163,11 @@ type remoteFabric struct {
 }
 
 // newRangeRunner builds the montecarlo runner for cfg's remote
-// configuration, together with a cleanup that releases any pool the runner
-// had to create itself (a caller-supplied Config.RemotePool is left alone:
-// its owner closes it).
-func (ds *Dataset) newRangeRunner(cfg *Config) (montecarlo.RangeRunner, func()) {
+// configuration, together with the pool it dispatches through (so callers
+// can consult its latency telemetry, e.g. for range autotuning) and a
+// cleanup that releases any pool the runner had to create itself (a
+// caller-supplied Config.RemotePool is left alone: its owner closes it).
+func (ds *Dataset) newRangeRunner(cfg *Config) (montecarlo.RangeRunner, *WorkerPool, func()) {
 	pool := cfg.RemotePool
 	cleanup := func() {}
 	if pool == nil {
@@ -190,7 +192,7 @@ func (ds *Dataset) newRangeRunner(cfg *Config) (montecarlo.RangeRunner, func()) 
 			SwapProposals:              cfg.SwapProposals,
 		},
 	}
-	return f.run, cleanup
+	return f.run, pool, cleanup
 }
 
 // run executes one range: up to the retry budget of eligible workers are
@@ -198,6 +200,8 @@ func (ds *Dataset) newRangeRunner(cfg *Config) (montecarlo.RangeRunner, func()) 
 // ones), then the range runs locally. Only context cancellation aborts
 // without the local fallback — no combination of worker failures can cost
 // the job, and a worker the supervisor has ejected costs nothing at all.
+// Each range records one fabric.range span with per-attempt children, so a
+// job's trace attributes every range to the worker(s) that tried it.
 func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*montecarlo.Partial, error) {
 	wire := f.template
 	wire.From = req.Range.From
@@ -207,25 +211,34 @@ func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*m
 	wire.Seeds = req.Seeds
 	wire.Workers = req.Workers
 
+	rctx, rsp := trace.Start(ctx, "fabric.range",
+		trace.Int("from", req.Range.From), trace.Int("to", req.Range.To))
+
 	var lastErr error
 	if candidates := f.pool.pick(f.retries); len(candidates) > 0 {
-		p, err := f.runRemote(ctx, req, wire, candidates)
+		p, err := f.runRemote(rctx, req, wire, candidates)
 		if err == nil {
+			rsp.End(trace.String("outcome", "ok"))
 			return p, nil
 		}
 		if ctx.Err() != nil {
+			rsp.End(trace.String("outcome", "canceled"))
 			return nil, ctx.Err()
 		}
 		lastErr = err
 	}
 	f.pool.noteLocalFallback()
-	rp, err := f.ds.MineReplicateRange(ctx, wire)
+	lctx, lsp := trace.Start(rctx, "fabric.local")
+	rp, err := f.ds.MineReplicateRange(lctx, wire)
+	lsp.End(trace.String("outcome", "local-fallback"))
 	if err != nil {
+		rsp.End(trace.String("outcome", "error"))
 		if lastErr != nil {
 			return nil, fmt.Errorf("remote attempts failed (last: %v); local fallback: %w", lastErr, err)
 		}
 		return nil, err
 	}
+	rsp.End(trace.String("outcome", "local-fallback"))
 	p := montecarlo.Partial(*rp)
 	return &p, nil
 }
@@ -234,16 +247,22 @@ func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*m
 // sequentially on failure; when hedging is enabled, a second attempt is
 // additionally launched in parallel once the current one has straggled past
 // hedgeDelay, and the first valid partial wins (the loser is canceled).
-// Every outcome is reported to the supervisor, except attempts canceled
-// because a sibling already won — losing a hedge race is not a failure.
+// Every outcome is reported to the supervisor; attempts canceled because a
+// sibling already won are not failures — losing a hedge race never touches
+// health state — but their cancellation latency still lands in the
+// worker's range-latency histogram (via noteHedgeLoss) so the telemetry
+// accounts for every dispatched request.
 func (f *remoteFabric) runRemote(ctx context.Context, req montecarlo.RangeRequest, wire PartialRequest, candidates []string) (*montecarlo.Partial, error) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	type attempt struct {
-		p   *montecarlo.Partial
-		url string
-		err error
+		p      *montecarlo.Partial
+		url    string
+		err    error
+		hedged bool
+		lat    time.Duration
+		sp     *trace.Active
 	}
 	results := make(chan attempt, len(candidates))
 	next := 0
@@ -253,8 +272,13 @@ func (f *remoteFabric) runRemote(ctx context.Context, req montecarlo.RangeReques
 		if hedged {
 			f.pool.noteHedge(url)
 		}
+		sctx, sp := trace.Start(actx, "fabric.attempt",
+			trace.String("worker", url), trace.Int("attempt", next),
+			trace.String("hedged", strconv.FormatBool(hedged)))
 		go func() {
-			rp, err := postPartial(actx, f.hc, url, wire)
+			start := time.Now()
+			rp, err := postPartial(sctx, f.hc, url, wire)
+			lat := time.Since(start)
 			var p *montecarlo.Partial
 			if err == nil {
 				pp := montecarlo.Partial(*rp)
@@ -264,7 +288,7 @@ func (f *remoteFabric) runRemote(ctx context.Context, req montecarlo.RangeReques
 					p = &pp
 				}
 			}
-			results <- attempt{p: p, url: url, err: err}
+			results <- attempt{p: p, url: url, err: err, hedged: hedged, lat: lat, sp: sp}
 		}()
 	}
 	launch(false)
@@ -277,10 +301,28 @@ func (f *remoteFabric) runRemote(ctx context.Context, req montecarlo.RangeReques
 		hedge = t.C
 	}
 
+	// drainLosers settles attempts still in flight after a winner returned:
+	// each is canceled by the deferred cancel, and its latency-until-cancel
+	// is recorded as a hedge loss. Runs detached so the winner's partial is
+	// merged without waiting on the losers to notice the cancellation.
+	drainLosers := func(n int) {
+		if n <= 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				l := <-results
+				f.pool.noteHedgeLoss(l.url, l.lat)
+				l.sp.End(trace.String("outcome", "hedge-loss"))
+			}
+		}()
+	}
+
 	var lastErr error
 	for {
 		select {
 		case <-ctx.Done():
+			drainLosers(outstanding)
 			return nil, ctx.Err()
 		case <-hedge:
 			hedge = nil
@@ -291,7 +333,13 @@ func (f *remoteFabric) runRemote(ctx context.Context, req montecarlo.RangeReques
 		case r := <-results:
 			outstanding--
 			if r.err == nil {
-				f.pool.reportSuccess(r.url)
+				f.pool.reportSuccess(r.url, r.lat, req.Range.To-req.Range.From)
+				outcome := "ok"
+				if r.hedged {
+					outcome = "hedge-win"
+				}
+				r.sp.End(trace.String("outcome", outcome))
+				drainLosers(outstanding)
 				return r.p, nil
 			}
 			f.pool.reportFailure(r.url, r.err)
@@ -300,8 +348,12 @@ func (f *remoteFabric) runRemote(ctx context.Context, req montecarlo.RangeReques
 				launch(false)
 				outstanding++
 			} else if outstanding == 0 {
+				r.sp.End(trace.String("outcome", "error"), trace.String("error", r.err.Error()))
 				return nil, lastErr
 			}
+			// Another attempt was just launched or is still in flight, so
+			// from this range's point of view the failure became a retry.
+			r.sp.End(trace.String("outcome", "retry"), trace.String("error", r.err.Error()))
 		}
 	}
 }
@@ -327,6 +379,14 @@ func postPartial(ctx context.Context, hc *http.Client, base string, req PartialR
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	// Propagate trace context so the worker's /v1/partials log lines carry
+	// the coordinator's trace/span and job IDs (see trace.Header contract).
+	if h := trace.HeaderValue(ctx); h != "" {
+		httpReq.Header.Set(trace.Header, h)
+		if jid := trace.FromContext(ctx).JobID(); jid != "" {
+			httpReq.Header.Set(trace.JobHeader, jid)
+		}
+	}
 	resp, err := hc.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: %w", base, err)

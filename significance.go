@@ -9,6 +9,7 @@ import (
 	"sigfim/internal/mining"
 	"sigfim/internal/montecarlo"
 	"sigfim/internal/randmodel"
+	"sigfim/internal/trace"
 )
 
 // Config tunes the significance methodology. The zero value (or a nil
@@ -80,9 +81,19 @@ type Config struct {
 	// by JSON encoding so job requests cannot inject it.
 	RemoteWorkers []string `json:"-"`
 	// RemoteRangeSize pins the number of replicates per dispatched range when
-	// RemoteWorkers is set (0 picks a size that keeps a few ranges in flight
-	// per worker). It cannot influence the result.
+	// RemoteWorkers is set. 0 autotunes: when the pool has observed worker
+	// latency (an EWMA of seconds-per-replicate, fed by every successful
+	// range), ranges are sized so one range takes about RemoteRangeTarget of
+	// wall time on the slowest worker, clamped to [1, Delta/workers]; before
+	// any observation exists a static heuristic keeps a few ranges in flight
+	// per worker. Range size cannot influence the result — partials merge in
+	// replicate-index order whatever the split.
 	RemoteRangeSize int `json:"-"`
+	// RemoteRangeTarget is the per-range wall time autotuned range sizing
+	// aims for when RemoteRangeSize is 0 (0 = the 2s default). Shorter
+	// targets sharpen retry/hedge granularity; longer ones amortize more
+	// dispatch overhead.
+	RemoteRangeTarget time.Duration `json:"-"`
 	// RemoteTimeout bounds every HTTP round trip to a remote worker — the
 	// per-range deadline that keeps a hung worker from stalling a job (0 =
 	// the WorkerPool default of 2 minutes). Ignored when RemotePool is set
@@ -111,6 +122,20 @@ type Config struct {
 // across the distributed fabric.
 func (c *Config) remoteEnabled() bool {
 	return c != nil && (c.RemotePool != nil || len(c.RemoteWorkers) > 0)
+}
+
+// autotuneRangeSize resolves the range size for one remote run: an explicit
+// RemoteRangeSize is pinned; 0 consults the pool's observed per-worker
+// latency (see WorkerPool.AutotuneRangeSize), and returns 0 — montecarlo's
+// static heuristic — when the pool has no observations yet.
+func autotuneRangeSize(pool *WorkerPool, cfg *Config, delta int) int {
+	if cfg.RemoteRangeSize != 0 {
+		return cfg.RemoteRangeSize
+	}
+	if delta == 0 {
+		delta = 1000
+	}
+	return pool.AutotuneRangeSize(delta, cfg.RemoteRangeTarget)
 }
 
 func (c *Config) withDefaults() (core.Options, error) {
@@ -211,12 +236,15 @@ func (ds *Dataset) SignificantCtx(ctx context.Context, k int, cfg *Config) (*Rep
 		}
 	}
 	if cfg.remoteEnabled() {
-		runner, cleanup := ds.newRangeRunner(cfg)
+		runner, pool, cleanup := ds.newRangeRunner(cfg)
 		defer cleanup()
 		opts.Runner = runner
-		opts.RangeSize = cfg.RemoteRangeSize
+		opts.RangeSize = autotuneRangeSize(pool, cfg, opts.Delta)
 	}
-	a, err := core.AnalyzeCtx(ctx, "dataset", ds.vertical(), k, opts)
+	_, warm := trace.Start(ctx, "dataset.warmup")
+	v := ds.vertical()
+	warm.End()
+	a, err := core.AnalyzeCtx(ctx, "dataset", v, k, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +311,9 @@ func (ds *Dataset) FindSMin(k int, cfg *Config) (int, error) {
 // FindSMinCtx is FindSMin with cooperative cancellation; see SignificantCtx
 // for the cancellation contract.
 func (ds *Dataset) FindSMinCtx(ctx context.Context, k int, cfg *Config) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg != nil && cfg.SwapNull {
 		return 0, fmt.Errorf("sigfim: FindSMin supports only the independence null (Config.SwapNull must be false); run Significant for a swap-null analysis")
 	}
@@ -296,19 +327,22 @@ func (ds *Dataset) FindSMinCtx(ctx context.Context, k int, cfg *Config) (int, er
 	if opts.Epsilon == 0 {
 		opts.Epsilon = 0.01
 	}
+	_, warm := trace.Start(ctx, "dataset.warmup")
+	freqs := ds.frequencies()
+	warm.End()
 	m := randmodel.IndependentModel{
 		T:     ds.d.NumTransactions(),
-		Freqs: ds.frequencies(),
+		Freqs: freqs,
 	}
 	mcfg := montecarlo.Config{
 		K: k, Delta: opts.Delta, Epsilon: opts.Epsilon, Seed: opts.Seed,
 		Workers: opts.Workers, Algorithm: opts.Algorithm, Progress: opts.Progress,
 	}
 	if cfg.remoteEnabled() {
-		runner, cleanup := ds.newRangeRunner(cfg)
+		runner, pool, cleanup := ds.newRangeRunner(cfg)
 		defer cleanup()
 		mcfg.Runner = runner
-		mcfg.RangeSize = cfg.RemoteRangeSize
+		mcfg.RangeSize = autotuneRangeSize(pool, cfg, opts.Delta)
 	}
 	res, err := montecarlo.FindPoissonThresholdCtx(ctx, m, mcfg)
 	if err != nil {

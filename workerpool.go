@@ -136,6 +136,68 @@ type fabricWorker struct {
 	ejections    uint64
 	readmissions uint64
 	hedged       uint64
+
+	// Range-latency telemetry: a fixed-bucket histogram of observed range
+	// wall latencies (successful dispatches plus canceled hedge losers) and
+	// an EWMA of seconds-per-replicate from successful dispatches only. The
+	// EWMA feeds range-size autotuning; hedge losers are censored
+	// observations (canceled mid-flight) so they land in the histogram but
+	// never move the EWMA.
+	latBuckets    []uint64
+	latCount      uint64
+	latSumSeconds float64
+	ewmaRepSecs   float64
+}
+
+// RangeLatencyBuckets are the upper bounds (seconds) of the per-worker
+// range-latency histogram; observations above the last bound land in an
+// implicit overflow bucket.
+var RangeLatencyBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// ewmaAlpha weights the newest per-replicate latency observation; ~0.3
+// adapts within a few ranges while smoothing single-range noise.
+const ewmaAlpha = 0.3
+
+// observeLatencyLocked records one range round trip of duration d covering
+// replicates replicates. Callers hold p.mu.
+func (w *fabricWorker) observeLatencyLocked(d time.Duration, replicates int, updateEWMA bool) {
+	if d < 0 {
+		d = 0
+	}
+	if w.latBuckets == nil {
+		w.latBuckets = make([]uint64, len(RangeLatencyBuckets)+1)
+	}
+	secs := d.Seconds()
+	i := 0
+	for i < len(RangeLatencyBuckets) && secs > RangeLatencyBuckets[i] {
+		i++
+	}
+	w.latBuckets[i]++
+	w.latCount++
+	w.latSumSeconds += secs
+	if updateEWMA && replicates > 0 {
+		rep := secs / float64(replicates)
+		if w.ewmaRepSecs == 0 {
+			w.ewmaRepSecs = rep
+		} else {
+			w.ewmaRepSecs = (1-ewmaAlpha)*w.ewmaRepSecs + ewmaAlpha*rep
+		}
+	}
+}
+
+// RangeLatencyStats is one worker's observed range-latency distribution.
+type RangeLatencyStats struct {
+	// Count and SumSeconds summarize every observation (successes and
+	// canceled hedge losers).
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	// Buckets holds per-bucket (non-cumulative) counts aligned with
+	// RangeLatencyBuckets, plus a final overflow bucket.
+	Buckets []uint64 `json:"buckets"`
+	// EWMAReplicateSeconds is the smoothed per-replicate latency from
+	// successful dispatches; 0 until the first success. It drives range-size
+	// autotuning (see AutotuneRangeSize).
+	EWMAReplicateSeconds float64 `json:"ewma_replicate_seconds,omitempty"`
 }
 
 // WorkerStatus is one worker's public supervision snapshot.
@@ -155,6 +217,9 @@ type WorkerStatus struct {
 	Readmissions uint64 `json:"readmissions"`
 	// Hedged counts hedged (duplicate) range dispatches sent to this worker.
 	Hedged uint64 `json:"hedged"`
+	// RangeLatency is the worker's observed range-latency distribution;
+	// nil until the first observation.
+	RangeLatency *RangeLatencyStats `json:"range_latency,omitempty"`
 	// NextProbeInSeconds is how far away the next health probe is while the
 	// worker is ejected (0 once due).
 	NextProbeInSeconds float64 `json:"next_probe_in_seconds,omitempty"`
@@ -405,9 +470,11 @@ func (p *WorkerPool) findLocked(url string) *fabricWorker {
 	return nil
 }
 
-// reportSuccess records a successful range dispatch: the failure streak
-// resets and a suspect worker recovers to healthy.
-func (p *WorkerPool) reportSuccess(url string) {
+// reportSuccess records a successful range dispatch of duration d covering
+// replicates replicates: the failure streak resets, a suspect worker
+// recovers to healthy, and the latency feeds the worker's histogram and
+// autotuning EWMA.
+func (p *WorkerPool) reportSuccess(url string, d time.Duration, replicates int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	w := p.findLocked(url)
@@ -419,6 +486,7 @@ func (p *WorkerPool) reportSuccess(url string) {
 	if w.state == WorkerSuspect {
 		w.state = WorkerHealthy
 	}
+	w.observeLatencyLocked(d, replicates, true)
 }
 
 // reportFailure records a failed range dispatch and classifies it. A
@@ -469,6 +537,18 @@ func (p *WorkerPool) noteHedge(url string) {
 	}
 }
 
+// noteHedgeLoss records the latency of a hedged dispatch that lost its
+// race and was canceled after d. Losing a race is not a failure (the
+// worker did nothing wrong) and the observation is censored, so it lands
+// in the latency histogram but touches neither health state nor the EWMA.
+func (p *WorkerPool) noteHedgeLoss(url string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w := p.findLocked(url); w != nil {
+		w.observeLatencyLocked(d, 0, false)
+	}
+}
+
 // noteLocalFallback records one range mined locally because no remote
 // attempt produced a valid partial.
 func (p *WorkerPool) noteLocalFallback() {
@@ -476,6 +556,47 @@ func (p *WorkerPool) noteLocalFallback() {
 	defer p.mu.Unlock()
 	p.locals++
 }
+
+// AutotuneRangeSize suggests a replicate-range size for a job of delta
+// replicates from observed worker latency: the slowest non-ejected
+// worker's per-replicate EWMA is scaled so one range takes about target
+// wall time on it, clamped to [1, delta/workers] so every worker still
+// sees work. It returns 0 — "no opinion, use the static heuristic" — when
+// no worker has a latency observation yet. Range size can never change
+// result bytes (partials merge in replicate order and replicate i always
+// consumes seed i), so autotuning is free to pick any value.
+func (p *WorkerPool) AutotuneRangeSize(delta int, target time.Duration) int {
+	if delta <= 0 {
+		return 0
+	}
+	if target <= 0 {
+		target = DefaultRangeTarget
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	slowest := 0.0
+	for _, w := range p.workers {
+		if w.state != WorkerEjected && w.ewmaRepSecs > slowest {
+			slowest = w.ewmaRepSecs
+		}
+	}
+	if slowest == 0 || len(p.workers) == 0 {
+		return 0
+	}
+	size := int(target.Seconds() / slowest)
+	if hi := delta / len(p.workers); size > hi {
+		size = hi
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// DefaultRangeTarget is the per-range wall time autotuning aims for when
+// no explicit target is configured: long enough to amortize the HTTP
+// round trip, short enough that retry and hedging stay responsive.
+const DefaultRangeTarget = 2 * time.Second
 
 // Snapshot returns the pool's current supervision state, workers in
 // configuration order.
@@ -495,6 +616,14 @@ func (p *WorkerPool) Snapshot() FabricStats {
 			Ejections:           w.ejections,
 			Readmissions:        w.readmissions,
 			Hedged:              w.hedged,
+		}
+		if w.latCount > 0 {
+			ws.RangeLatency = &RangeLatencyStats{
+				Count:                w.latCount,
+				SumSeconds:           w.latSumSeconds,
+				Buckets:              append([]uint64(nil), w.latBuckets...),
+				EWMAReplicateSeconds: w.ewmaRepSecs,
+			}
 		}
 		if w.state == WorkerEjected && w.nextProbeAt.After(now) {
 			ws.NextProbeInSeconds = w.nextProbeAt.Sub(now).Seconds()

@@ -102,7 +102,7 @@ func TestWorkerPoolSuccessResetsStreak(t *testing.T) {
 	hard := errors.New("timeout")
 	p.reportFailure("http://a", hard)
 	p.reportFailure("http://a", hard)
-	p.reportSuccess("http://a")
+	p.reportSuccess("http://a", 40*time.Millisecond, 10)
 	if got := p.state("http://a"); got != WorkerHealthy {
 		t.Fatalf("after success: state %q, want healthy", got)
 	}

@@ -66,6 +66,16 @@ func jobsUsage(w io.Writer) {
 -server defaults to $SIGFIM_SERVER, then http://127.0.0.1:8080`)
 }
 
+// jobLookupError decorates a failed job lookup: an unknown (or already
+// evicted) job id is the common stumble, so point at `sigfim jobs list` —
+// the listing shows every id the server still tracks.
+func jobLookupError(id string, err error) error {
+	if strings.Contains(err.Error(), "HTTP 404") {
+		return fmt.Errorf("%w (job %q is unknown or its record was evicted; run `sigfim jobs list` to see the ids the server tracks)", err, id)
+	}
+	return err
+}
+
 // jobDuration renders how long a job ran (or has been running).
 func jobDuration(st service.JobStatus) string {
 	switch {
@@ -118,7 +128,7 @@ func jobsGet(args []string, stdout, stderr io.Writer) error {
 	}
 	st, err := client.New(*server, nil).Job(context.Background(), id)
 	if err != nil {
-		return err
+		return jobLookupError(id, err)
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -140,7 +150,7 @@ func jobsTrace(args []string, stdout, stderr io.Writer) error {
 	}
 	tr, err := client.New(*server, nil).Trace(context.Background(), id)
 	if err != nil {
-		return err
+		return jobLookupError(id, err)
 	}
 	fmt.Fprintf(stdout, "trace %s  job %s  (%d spans", tr.TraceID, tr.JobID, len(tr.Spans))
 	if tr.Dropped > 0 {
@@ -255,7 +265,7 @@ func jobsWatch(args []string, stdout, stderr io.Writer) error {
 	})
 	if err != nil {
 		fmt.Fprintln(stdout)
-		return err
+		return jobLookupError(id, err)
 	}
 	dur := ""
 	if final.StartedAt != nil && final.FinishedAt != nil {

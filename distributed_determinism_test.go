@@ -128,6 +128,72 @@ func TestDistributedSignificantBitIdentity(t *testing.T) {
 	}
 }
 
+// TestDistributedWestfallYoungBitIdentity extends the acceptance criterion to
+// the resampling correction: Westfall–Young needs one min-p statistic per
+// Monte Carlo replicate, so the per-replicate minima now ride the fabric's
+// partials and must survive sharding, range splits, and ordered merges
+// untouched. A coordinator fanning out over two live workers must produce
+// byte-identical Westfall–Young reports to the single-process run — adjusted
+// p-values included — for coordinator worker counts 1, 4, and 8, under both
+// the independence and the swap null.
+func TestDistributedWestfallYoungBitIdentity(t *testing.T) {
+	d := goldenDataset(t)
+	workers := startWorkers(t, 2)
+
+	nulls := []struct {
+		name string
+		cfg  func() *sigfim.Config
+	}{
+		{"independence", func() *sigfim.Config {
+			return &sigfim.Config{Delta: 120, Seed: 9, Correction: sigfim.CorrectionWestfallYoung}
+		}},
+		{"swap", func() *sigfim.Config {
+			return &sigfim.Config{Delta: 60, Seed: 9, SwapNull: true, Correction: sigfim.CorrectionWestfallYoung}
+		}},
+	}
+	for _, null := range nulls {
+		t.Run(null.name, func(t *testing.T) {
+			local, err := d.Significant(2, null.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if local.Baseline == nil || local.Baseline.Correction != sigfim.CorrectionWestfallYoung {
+				t.Fatalf("local baseline = %+v, want westfall-young", local.Baseline)
+			}
+			localJSON := mustJSON(t, local)
+
+			// Drive the fabric through an instrumented pool so a silent local
+			// fallback (which would also be bit-identical) cannot masquerade as
+			// the remote path: the min-p partials must actually ride the wire.
+			pool := sigfim.NewWorkerPool(workers, sigfim.WorkerPoolOptions{})
+			defer pool.Close()
+			for _, w := range []int{1, 4, 8} {
+				cfg := null.cfg()
+				cfg.Workers = w
+				cfg.RemotePool = pool
+				dist, err := d.Significant(2, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got := mustJSON(t, dist); !reflect.DeepEqual(got, localJSON) {
+					t.Fatalf("workers=%d: distributed westfall-young report differs from single-process report\nlocal: %s\ndist:  %s", w, localJSON, got)
+				}
+			}
+			st := pool.Snapshot()
+			if st.LocalFallbacks > 0 {
+				t.Fatalf("%d ranges fell back to local mining; the remote min-p path was not exercised", st.LocalFallbacks)
+			}
+			var successes uint64
+			for _, ws := range st.Workers {
+				successes += ws.Successes
+			}
+			if successes == 0 {
+				t.Fatal("no successful remote dispatches recorded; the remote min-p path was not exercised")
+			}
+		})
+	}
+}
+
 // TestDistributedFindSMin pins the smin path (Algorithm 1 alone, always the
 // independence null) across the fabric, including a pinned range size.
 func TestDistributedFindSMin(t *testing.T) {

@@ -63,10 +63,29 @@
 // Exported as Dataset.Significant, which returns the full Report including
 // the ladder trace.
 //
-// Per-itemset baseline (Procedure 1). The Benjamini-Yekutieli correction
-// over individual itemset p-values, implemented in internal/mht and driven
-// by internal/core; the power ratio r = Q_{k,s*}/|R| is the paper's Table 5
+// Per-itemset baseline (Procedure 1). A multiple-testing correction over
+// individual itemset p-values, implemented in internal/mht and driven by
+// internal/core; the power ratio r = Q_{k,s*}/|R| is the paper's Table 5
 // comparison. Exported via Config.WithBaseline and Report.Baseline.
+//
+// Statistics layer. The correction itself is pluggable (Config.Correction;
+// the Correction* constants; setting it implies WithBaseline). internal/mht
+// is the pure statistics layer — selection and adjusted-p functions over
+// sorted p-value slices, no mining types — and internal/core.Procedure1Ex
+// dispatches on the chosen mode: the paper's Benjamini-Yekutieli step-up
+// (FDR, the default), Bonferroni and Holm adjusted p-values (FWER), or the
+// Westfall-Young min-p resampling adjustment (FWER learned from the joint
+// null distribution rather than bounded analytically). Westfall-Young rides
+// the replicate engine: under montecarlo.Config.CollectMinPs each Monte
+// Carlo replicate also records the minimum p-value over its own mined
+// k-itemsets, the per-replicate minima travel inside the fabric's partials
+// (so the correction shards across remote workers bit-identically), and
+// mht.WestfallYoung turns observed p-values plus the Delta null minima into
+// step-down monotone adjusted p-values. Every correction rejects a prefix
+// of the sorted p-values with ties kept together, so all four modes share
+// Procedure 1's threshold and family-size machinery, and since FWER control
+// implies FDR control each slots into the same beta budget. The report's
+// Baseline.Correction field records which mode produced the family.
 //
 // Mining engine. internal/mining implements the miners every stage above
 // consumes: Eclat over sorted tid lists or dense bitsets (layout chosen by
@@ -93,12 +112,14 @@
 // Service layer. internal/service and cmd/sigfimd expose the pipeline as a
 // long-running HTTP service: a registry of named immutable datasets (each
 // content-hashed via Dataset.Hash, with the vertical index built once at
-// registration), an asynchronous job engine running SignificantCtx /
-// FindSMinCtx on a bounded worker pool with queue backpressure and
-// cooperative cancellation, and an LRU result cache keyed by (dataset hash,
-// canonicalized configuration, k) that serves repeated queries the exact
-// bytes of the original computation — sound because the pipeline is
-// deterministic for a fixed seed. The context-aware entry points
+// registration), an asynchronous job engine with five job kinds — the
+// statistical kinds significant (SignificantCtx) and smin (FindSMinCtx)
+// plus the mining kinds closed, maximal, and rules, whose responses are
+// bit-identical to the corresponding direct library calls — on a bounded
+// worker pool with queue backpressure and cooperative cancellation, and an
+// LRU result cache keyed by (dataset hash, canonicalized request) that
+// serves repeated queries the exact bytes of the original computation —
+// sound because the pipeline is deterministic for a fixed seed. The context-aware entry points
 // (SignificantCtx, FindSMinCtx) check the context at replicate boundaries of
 // the Monte Carlo loop; a canceled run returns ctx.Err() and never a partial
 // result, so cancellation cannot perturb results that do complete. Config's

@@ -1,8 +1,10 @@
 // Package client is a thin Go client for the sigfimd HTTP API: health and
 // stats probes, dataset and job listings, job submission and cancellation,
 // and live job watching over the Server-Sent Events stream. It exchanges
-// the exact wire types of internal/service and is the library behind the
-// "sigfim jobs" subcommand.
+// the exact wire types of internal/service — so every job kind the server
+// accepts (significant, smin, closed, maximal, rules) and every config knob,
+// including the multiple-testing Correction, flows through unchanged — and
+// is the library behind the "sigfim jobs" subcommand.
 package client
 
 import (

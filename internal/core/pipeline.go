@@ -29,8 +29,16 @@ type Options struct {
 	// SMinOverride skips Algorithm 1 and uses this Poisson threshold
 	// directly (with MC lambda estimation still run); zero disables.
 	SMinOverride int
-	// RunProcedure1 additionally runs the BY baseline for comparison.
+	// RunProcedure1 additionally runs the Procedure 1 baseline for
+	// comparison.
 	RunProcedure1 bool
+	// Correction selects Procedure 1's multiple-testing correction (one of
+	// the Correction* constants); empty means CorrectionBY, the paper's
+	// Theorem 5 default. CorrectionWestfallYoung additionally turns on
+	// Algorithm 1's min-p collection (montecarlo.Config.CollectMinPs) so the
+	// resampled null distribution rides the same replicates. Ignored unless
+	// RunProcedure1.
+	Correction string
 	// NullModel overrides the null model used by Algorithm 1 and the lambda
 	// estimates; nil selects the paper's independence model built from the
 	// dataset's measured profile. Swap randomization (*randmodel.SwapModel)
@@ -76,6 +84,9 @@ func (o Options) withDefaults() Options {
 	if o.Delta == 0 {
 		o.Delta = 1000
 	}
+	if o.Correction == "" {
+		o.Correction = CorrectionBY
+	}
 	return o
 }
 
@@ -89,7 +100,8 @@ type Analysis struct {
 	MC *montecarlo.Result
 	// Proc2 is the support-threshold methodology result.
 	Proc2 *Procedure2Result
-	// Proc1 is the BY baseline (nil unless Options.RunProcedure1).
+	// Proc1 is the Procedure 1 baseline under Options.Correction (nil unless
+	// Options.RunProcedure1).
 	Proc1 *Procedure1Result
 }
 
@@ -121,6 +133,10 @@ func AnalyzeCtx(ctx context.Context, name string, v *dataset.Vertical, k int, op
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
+	correction, err := ParseCorrection(opts.Correction)
+	if err != nil {
+		return nil, err
+	}
 	profile := dataset.ExtractVertical(name, v)
 	var model randmodel.Model = randmodel.FromProfile(profile)
 	if opts.NullModel != nil {
@@ -139,6 +155,7 @@ func AnalyzeCtx(ctx context.Context, name string, v *dataset.Vertical, k int, op
 		Runner:        opts.Runner,
 		RangeSize:     opts.RangeSize,
 		RangeInflight: opts.RangeInflight,
+		CollectMinPs:  opts.RunProcedure1 && correction == CorrectionWestfallYoung,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: Algorithm 1: %w", err)
@@ -170,7 +187,7 @@ func AnalyzeCtx(ctx context.Context, name string, v *dataset.Vertical, k int, op
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		p1, err := Procedure1(v, k, sMin, opts.Beta)
+		p1, err := Procedure1Ex(v, k, sMin, opts.Beta, correction, mc.MinPs)
 		if err != nil {
 			return nil, err
 		}

@@ -4,12 +4,49 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"sigfim/internal/dataset"
 	"sigfim/internal/mht"
 	"sigfim/internal/mining"
 	"sigfim/internal/stats"
 )
+
+// The multiple-testing corrections Procedure 1 can flag discoveries with.
+// All four share the prefix property: the rejected set is a prefix of the
+// p-values in ascending order and ties never split the stopping point, so
+// one streaming threshold pass serves every correction.
+const (
+	// CorrectionBonferroni controls FWER at beta by rejecting p <= beta/m.
+	CorrectionBonferroni = "bonferroni"
+	// CorrectionHolm is the uniformly-more-powerful step-down FWER control;
+	// with m = C(n, k) astronomically larger than the mined family it is
+	// numerically indistinguishable from Bonferroni, but never weaker.
+	CorrectionHolm = "holm"
+	// CorrectionBY is the paper's Theorem 5 default: Benjamini-Yekutieli
+	// step-up, FDR <= beta under arbitrary dependence.
+	CorrectionBY = "by"
+	// CorrectionWestfallYoung calibrates against the resampled min-p null
+	// distribution from Algorithm 1's replicates (FWER <= beta, hence also
+	// FDR <= beta), adapting to the actual dependence among supports instead
+	// of paying the worst-case C(n, k) penalty.
+	CorrectionWestfallYoung = "westfall-young"
+)
+
+// ParseCorrection normalizes a user-supplied correction name: trimmed,
+// lowercased, empty defaulting to CorrectionBY. Unknown names return an
+// error enumerating the valid set.
+func ParseCorrection(s string) (string, error) {
+	switch c := strings.ToLower(strings.TrimSpace(s)); c {
+	case "":
+		return CorrectionBY, nil
+	case CorrectionBonferroni, CorrectionHolm, CorrectionBY, CorrectionWestfallYoung:
+		return c, nil
+	default:
+		return "", fmt.Errorf("core: unknown correction %q (want %q, %q, %q, or %q)",
+			s, CorrectionBonferroni, CorrectionHolm, CorrectionBY, CorrectionWestfallYoung)
+	}
+}
 
 // maxMaterializedFamily caps how many flagged itemsets Procedure1 keeps in
 // memory; FamilySize always reports the exact count. The paper's Bms1 k=4
@@ -28,6 +65,19 @@ const maxMaterializedFamily = 200_000
 // rejection threshold, and pass two re-mines to materialize the rejected
 // itemsets (capped at maxMaterializedFamily; FamilySize is always exact).
 func Procedure1(v *dataset.Vertical, k, sMin int, beta float64) (*Procedure1Result, error) {
+	return Procedure1Ex(v, k, sMin, beta, CorrectionBY, nil)
+}
+
+// Procedure1Ex generalizes Procedure1 to the full correction family: the
+// mined p-values are identical for every correction; only the rejection rule
+// applied to their order statistics differs. The correction name is
+// normalized via ParseCorrection. For CorrectionWestfallYoung, minPs must be
+// the replicate min-p null distribution (montecarlo.Result.MinPs, collected
+// under Config.CollectMinPs); every other correction ignores minPs. Because
+// the replicate minima range over the superset family mined at the halving
+// floor (<= sMin), the resampled distribution is stochastically smaller than
+// the exact one, so the adjusted p-values are conservative, never liberal.
+func Procedure1Ex(v *dataset.Vertical, k, sMin int, beta float64, correction string, minPs []float64) (*Procedure1Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
@@ -36,6 +86,13 @@ func Procedure1(v *dataset.Vertical, k, sMin int, beta float64) (*Procedure1Resu
 	}
 	if beta <= 0 || beta >= 1 {
 		return nil, fmt.Errorf("core: beta must be in (0,1), got %v", beta)
+	}
+	correction, err := ParseCorrection(correction)
+	if err != nil {
+		return nil, err
+	}
+	if correction == CorrectionWestfallYoung && len(minPs) == 0 {
+		return nil, fmt.Errorf("core: correction %q requires the replicate min-p null distribution (run Algorithm 1 with CollectMinPs)", correction)
 	}
 	t := v.NumTransactions
 	n := v.NumItems()
@@ -57,24 +114,46 @@ func Procedure1(v *dataset.Vertical, k, sMin int, beta float64) (*Procedure1Resu
 	m := math.Exp(stats.LogChoose(n, k))
 
 	res := &Procedure1Result{
-		K:        k,
-		SMin:     sMin,
-		NumMined: len(pvals),
-		M:        m,
-		Beta:     beta,
+		K:          k,
+		SMin:       sMin,
+		NumMined:   len(pvals),
+		M:          m,
+		Beta:       beta,
+		Correction: correction,
 	}
 	if len(pvals) == 0 {
 		return res, nil
 	}
 
-	// BY step-up threshold: largest i with p_(i) <= i * beta / (m * H(m)).
+	// Every correction rejects a prefix of the ascending order statistics;
+	// ell is the prefix length.
 	sort.Float64s(pvals)
-	denom := m * mht.Harmonic(m)
 	ell := 0
-	for i := len(pvals); i >= 1; i-- {
-		if pvals[i-1] <= float64(i)/denom*beta {
-			ell = i
-			break
+	switch correction {
+	case CorrectionBY:
+		// Step-up: largest i with p_(i) <= i * beta / (m * H(m)).
+		denom := m * mht.Harmonic(m)
+		for i := len(pvals); i >= 1; i-- {
+			if pvals[i-1] <= float64(i)/denom*beta {
+				ell = i
+				break
+			}
+		}
+	case CorrectionBonferroni, CorrectionHolm, CorrectionWestfallYoung:
+		// Adjusted-p semantics: over sorted input every *Adjust function is
+		// monotone with ties mapped to one value, so the rejected set is the
+		// prefix with adjusted p <= beta and ties never split it.
+		var adj []float64
+		switch correction {
+		case CorrectionBonferroni:
+			adj = mht.BonferroniAdjust(pvals, m)
+		case CorrectionHolm:
+			adj = mht.HolmAdjust(pvals, m)
+		default:
+			adj = mht.WestfallYoung(pvals, minPs)
+		}
+		for ell < len(adj) && adj[ell] <= beta {
+			ell++
 		}
 	}
 	if ell == 0 {

@@ -40,6 +40,10 @@ type Procedure1Result struct {
 	M float64
 	// Beta is the FDR budget.
 	Beta float64
+	// Correction names the multiple-testing correction the rejections were
+	// made under (one of the Correction* constants; CorrectionBY is the
+	// paper's Theorem 5 procedure).
+	Correction string
 	// FamilySize is |R|, the exact number of rejected hypotheses.
 	FamilySize int
 	// Family lists the rejected (= flagged significant) itemsets, ascending

@@ -225,6 +225,172 @@ func TestEmpiricalFDRAndPower(t *testing.T) {
 	}
 }
 
+func TestBonferroniAdjust(t *testing.T) {
+	p := []float64{0.001, 0.02, 0.5}
+	adj := BonferroniAdjust(p, 0) // m = 3
+	want := []float64{0.003, 0.06, 1}
+	for i := range want {
+		if math.Abs(adj[i]-want[i]) > 1e-12 {
+			t.Fatalf("BonferroniAdjust = %v, want %v", adj, want)
+		}
+	}
+	// Explicit m scales the adjustment; rejection must match the mask form.
+	adj = BonferroniAdjust(p, 100)
+	mask := Bonferroni(p, 0.05, 100)
+	for i := range p {
+		if (adj[i] <= 0.05) != mask[i] {
+			t.Fatalf("BonferroniAdjust disagrees with Bonferroni at %d: adj=%v mask=%v", i, adj, mask)
+		}
+	}
+}
+
+func TestHolmAdjustMatchesHolmMask(t *testing.T) {
+	// With mTotal = len(p), rejecting adjusted <= alpha must reproduce the
+	// Holm mask exactly, across random inputs and levels.
+	r := stats.NewRNG(11)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(25)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+			if r.Bernoulli(0.4) {
+				p[i] *= 1e-4
+			}
+		}
+		alpha := 0.01 + r.Float64()*0.2
+		adj := HolmAdjust(p, 0)
+		mask := Holm(p, alpha)
+		for i := range p {
+			if (adj[i] <= alpha) != mask[i] {
+				t.Fatalf("HolmAdjust(<=%v) disagrees with Holm at %v", alpha, p)
+			}
+		}
+	}
+}
+
+func TestHolmAdjustSmallMTotal(t *testing.T) {
+	// mTotal smaller than len(pvalues): the (m - i + 1) multiplier would go
+	// nonpositive for the tail order statistics and must clamp to 1, so the
+	// adjusted value never drops below the raw p-value.
+	p := []float64{0.5, 0.01, 0.2, 0.9, 0.03}
+	adj := HolmAdjust(p, 2)
+	for i := range p {
+		if adj[i] < p[i] {
+			t.Fatalf("adjusted %v below raw %v at %d", adj[i], p[i], i)
+		}
+		if adj[i] > 1 {
+			t.Fatalf("adjusted %v above 1", adj[i])
+		}
+	}
+}
+
+func TestWestfallYoungKnownCounts(t *testing.T) {
+	// Hand-checked: Delta = 4 null minima {0.01, 0.05, 0.2, 0.8}.
+	// p=0.005 -> count 0 -> 1/5; p=0.05 -> count 2 -> 3/5 (ties at the
+	// observed value count, <=); p=0.9 -> count 4 -> 5/5.
+	nullMin := []float64{0.2, 0.01, 0.8, 0.05}
+	p := []float64{0.9, 0.005, 0.05}
+	adj := WestfallYoung(p, nullMin)
+	want := []float64{1.0, 0.2, 0.6}
+	for i := range want {
+		if math.Abs(adj[i]-want[i]) > 1e-12 {
+			t.Fatalf("WestfallYoung = %v, want %v", adj, want)
+		}
+	}
+}
+
+func TestWestfallYoungStepDownMonotone(t *testing.T) {
+	// The adjusted p-values must be monotone in the raw p-values: a smaller
+	// raw p never gets a larger adjustment. This is the step-down coherence
+	// the running maximum enforces.
+	r := stats.NewRNG(12)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(30)
+		delta := r.Intn(50)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		nullMin := make([]float64, delta)
+		for i := range nullMin {
+			nullMin[i] = r.Float64()
+		}
+		for _, adj := range [][]float64{
+			WestfallYoung(p, nullMin),
+			HolmAdjust(p, 0),
+			BonferroniAdjust(p, 0),
+		} {
+			for i := range p {
+				if adj[i] < 0 || adj[i] > 1 {
+					t.Fatalf("adjusted p %v out of [0,1]", adj[i])
+				}
+				for j := range p {
+					if p[i] < p[j] && adj[i] > adj[j] {
+						t.Fatalf("monotonicity violated: p %v < %v but adj %v > %v",
+							p[i], p[j], adj[i], adj[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWestfallYoungAllTies(t *testing.T) {
+	// Every observed p-value identical: all share one count, hence one
+	// adjusted value, and RejectAdjusted is all-or-nothing.
+	p := []float64{0.03, 0.03, 0.03, 0.03}
+	nullMin := []float64{0.01, 0.02, 0.5, 0.5, 0.9}
+	adj := WestfallYoung(p, nullMin)
+	for i := 1; i < len(adj); i++ {
+		if adj[i] != adj[0] {
+			t.Fatalf("tied p-values adjusted differently: %v", adj)
+		}
+	}
+	// count{<=0.03} = 2 -> (1+2)/(5+1) = 0.5.
+	if math.Abs(adj[0]-0.5) > 1e-12 {
+		t.Fatalf("tied adjustment = %v, want 0.5", adj[0])
+	}
+	mask := RejectAdjusted(adj, 0.5)
+	for _, b := range mask {
+		if !b {
+			t.Fatalf("RejectAdjusted at the exact level should reject: %v", mask)
+		}
+	}
+}
+
+func TestWestfallYoungEmptyInputs(t *testing.T) {
+	// Empty p-value slice: empty output, any null distribution.
+	if got := WestfallYoung(nil, []float64{0.1, 0.2}); len(got) != 0 {
+		t.Fatalf("WestfallYoung(nil, ...) = %v", got)
+	}
+	// Empty null distribution: everything adjusts to exactly 1.
+	adj := WestfallYoung([]float64{0.0001, 0.5}, nil)
+	for _, a := range adj {
+		if a != 1 {
+			t.Fatalf("empty null distribution should adjust to 1, got %v", adj)
+		}
+	}
+	if got := RejectAdjusted(nil, 0.05); len(got) != 0 {
+		t.Fatalf("RejectAdjusted(nil) = %v", got)
+	}
+	if got := HolmAdjust(nil, 0); len(got) != 0 {
+		t.Fatalf("HolmAdjust(nil) = %v", got)
+	}
+	if got := BonferroniAdjust(nil, 0); len(got) != 0 {
+		t.Fatalf("BonferroniAdjust(nil) = %v", got)
+	}
+}
+
+func TestWestfallYoungNeverZeroAndValid(t *testing.T) {
+	// The +1 smoothing keeps every adjusted p-value strictly positive and at
+	// least 1/(Delta+1), even for a p-value below every null minimum.
+	nullMin := []float64{0.3, 0.4, 0.5}
+	adj := WestfallYoung([]float64{0}, nullMin)
+	if adj[0] != 0.25 {
+		t.Fatalf("floor adjustment = %v, want 1/(Delta+1) = 0.25", adj[0])
+	}
+}
+
 func TestEmptyInputs(t *testing.T) {
 	if got := BenjaminiHochberg(nil, 0.05); got != nil {
 		t.Error("BH(nil) should be nil")

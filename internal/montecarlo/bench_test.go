@@ -62,7 +62,7 @@ func BenchmarkMineAll(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 2, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
+		if _, _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 2, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -84,7 +84,7 @@ func BenchmarkMineAllLowFloor(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 3, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
+		if _, _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 3, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -109,7 +109,7 @@ func BenchmarkEvaluatorEval(b *testing.B) {
 	for i := range seeds {
 		seeds[i] = root.Uint64()
 	}
-	col, err := mineAll(context.Background(), m, seeds, res.Floor, Config{K: 2, MaxEntries: 50_000_000, Algorithm: mining.Auto})
+	col, _, err := mineAll(context.Background(), m, seeds, res.Floor, Config{K: 2, MaxEntries: 50_000_000, Algorithm: mining.Auto})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func BenchmarkSwapReplicates(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 2, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
+		if _, _, err := mineAll(context.Background(), m, seeds, floor, Config{K: 2, MaxEntries: 50_000_000, Workers: 1, Algorithm: mining.Auto}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -61,6 +61,14 @@ type RangeRequest struct {
 	// Workers bounds the intra-mine parallelism of each replicate's mine
 	// (0 = executor's choice). Results are identical for every value.
 	Workers int
+	// StatFloor, when positive, additionally collects the Westfall-Young
+	// statistic: for each replicate, the minimum marginal Binomial p-value
+	// over the mined itemsets with support >= StatFloor (Partial.MinPs).
+	// Must be >= Floor, since itemsets below the mining floor are never
+	// emitted; requests that collect pin Floor so the two coincide. The
+	// statistic is a plain minimum of exactly computed p-values, so it is
+	// bit-identical on every executor, for every worker count and algorithm.
+	StatFloor int
 }
 
 // validate checks a request's internal consistency.
@@ -77,6 +85,9 @@ func (req RangeRequest) validate() error {
 	}
 	if req.Floor < 1 {
 		return fmt.Errorf("montecarlo: mining floor must be >= 1, got %d", req.Floor)
+	}
+	if req.StatFloor < 0 || (req.StatFloor > 0 && req.StatFloor < req.Floor) {
+		return fmt.Errorf("montecarlo: stat floor %d must be 0 or >= mining floor %d", req.StatFloor, req.Floor)
 	}
 	return nil
 }
@@ -100,7 +111,20 @@ type Partial struct {
 	// range order; Sups holds the parallel supports.
 	Items []uint32 `json:"items,omitempty"`
 	Sups  []int32  `json:"sups,omitempty"`
+	// MinPs, present exactly when the request carried a StatFloor, holds one
+	// value per replicate: the minimum marginal Binomial p-value over the
+	// replicate's itemsets with support >= StatFloor, or MinPNone when no
+	// itemset reached it. float64 values survive the JSON round trip exactly
+	// (encoding/json emits the shortest form that decodes to the same bits),
+	// so shipping MinPs between sigfimd processes preserves the bit-identity
+	// of the Westfall-Young null distribution.
+	MinPs []float64 `json:"min_ps,omitempty"`
 }
+
+// MinPNone marks a replicate in which no itemset reached the stat floor: it
+// compares above every genuine p-value, so the replicate counts against no
+// rejection (the family minimum over an empty set is vacuously large).
+const MinPNone = 2.0
 
 // reset prepares a (possibly recycled) partial for a new range, keeping the
 // backing arrays.
@@ -112,6 +136,7 @@ func (p *Partial) reset(req RangeRequest) {
 	p.Counts = p.Counts[:0]
 	p.Items = p.Items[:0]
 	p.Sups = p.Sups[:0]
+	p.MinPs = p.MinPs[:0]
 }
 
 // ErrInvalidPartial is wrapped by every Validate failure, so a runner can
@@ -152,6 +177,18 @@ func (p *Partial) Validate(req RangeRequest) error {
 	}
 	if len(p.Items) != total*p.K {
 		return fmt.Errorf("%w: %d item ids, want %d", ErrInvalidPartial, len(p.Items), total*p.K)
+	}
+	if req.StatFloor > 0 {
+		if len(p.MinPs) != p.To-p.From {
+			return fmt.Errorf("%w: %d replicate min p-values, want %d", ErrInvalidPartial, len(p.MinPs), p.To-p.From)
+		}
+		for i, v := range p.MinPs {
+			if !(v >= 0 && v <= 1) && v != MinPNone {
+				return fmt.Errorf("%w: min p-value %v at replicate %d outside [0,1]", ErrInvalidPartial, v, p.From+i)
+			}
+		}
+	} else if len(p.MinPs) != 0 {
+		return fmt.Errorf("%w: %d min p-values in a range that requested none", ErrInvalidPartial, len(p.MinPs))
 	}
 	return nil
 }
@@ -206,6 +243,17 @@ func MineRange(ctx context.Context, m randmodel.Model, req RangeRequest, scr *Ra
 	if intra < 1 {
 		intra = 1
 	}
+	// Westfall-Young collection: the per-replicate minimum marginal p-value
+	// needs the null model's marginals, which both shipped models expose
+	// identically (item frequencies and transaction count are preserved by
+	// construction under either null). The minimum is order-independent, so
+	// the emission order of the mining algorithm cannot influence it.
+	var statFreqs []float64
+	statT := 0
+	if req.StatFloor > 0 {
+		statFreqs = m.ItemFrequencies()
+		statT = m.NumTransactions()
+	}
 	out.reset(req)
 	for i := 0; i < req.Range.Len(); i++ {
 		if err := ctx.Err(); err != nil {
@@ -221,14 +269,34 @@ func MineRange(ctx context.Context, m randmodel.Model, req RangeRequest, scr *Ra
 			scr.GenNanos += t1.Sub(t0).Nanoseconds()
 		}
 		before := len(out.Sups)
-		mining.VisitKAlgoScratch(scr.v, req.K, req.Floor, intra, req.Algorithm, scr.scratch, func(items mining.Itemset, sup int) {
+		visit := func(items mining.Itemset, sup int) {
 			out.Items = append(out.Items, items...)
 			out.Sups = append(out.Sups, int32(sup))
-		})
+		}
+		minP := MinPNone
+		if req.StatFloor > 0 {
+			visit = func(items mining.Itemset, sup int) {
+				out.Items = append(out.Items, items...)
+				out.Sups = append(out.Sups, int32(sup))
+				if sup >= req.StatFloor {
+					fX := 1.0
+					for _, it := range items {
+						fX *= statFreqs[it]
+					}
+					if p := (stats.Binomial{N: statT, P: fX}).UpperTail(sup); p < minP {
+						minP = p
+					}
+				}
+			}
+		}
+		mining.VisitKAlgoScratch(scr.v, req.K, req.Floor, intra, req.Algorithm, scr.scratch, visit)
 		if scr.Timing {
 			scr.MineNanos += time.Since(t1).Nanoseconds()
 		}
 		out.Counts = append(out.Counts, int32(len(out.Sups)-before))
+		if req.StatFloor > 0 {
+			out.MinPs = append(out.MinPs, minP)
+		}
 	}
 	return nil
 }

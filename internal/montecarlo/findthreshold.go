@@ -89,6 +89,17 @@ type Config struct {
 	// RangeInflight bounds concurrent Runner dispatches (0 = 4). Ignored
 	// without Runner.
 	RangeInflight int
+	// CollectMinPs additionally records, for every replicate, the minimum
+	// marginal Binomial p-value over the replicate's mined itemsets — the
+	// Westfall-Young min-p null distribution (Result.MinPs). Collection
+	// pins every replicate range's mining floor to the halving's base floor
+	// (disabling the adaptive raised-floor mining shortcut, which is racy by
+	// design and merge-corrected, so the minimum's family would otherwise
+	// depend on scheduling) and costs one exact Binomial tail per mined
+	// itemset; it changes nothing else about the estimate, and the recorded
+	// distribution is bit-identical for every worker count, range size,
+	// executor, and algorithm.
+	CollectMinPs bool
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +162,17 @@ type Result struct {
 	Curve []BoundPoint
 	// Delta is the replicate count used.
 	Delta int
+	// MinPs, filled under Config.CollectMinPs, holds one value per replicate
+	// (index order, len == Delta): the minimum marginal Binomial p-value any
+	// k-itemset with support >= MinPFloor attained in that replicate, or
+	// MinPNone for replicates in which no itemset reached the floor. This is
+	// the Westfall-Young null distribution mht.WestfallYoung consumes.
+	MinPs []float64
+	// MinPFloor is the support floor the MinPs minima range over — the final
+	// halving's base mining floor, always <= the s_min the caller will test
+	// at. Minimizing over this superset family can only produce smaller
+	// minima, i.e. larger adjusted p-values: the truncation is conservative.
+	MinPFloor int
 
 	// allSupports holds every recorded support across replicates, sorted
 	// ascending; Lambda(s) = (#supports >= s) / Delta.
@@ -316,10 +338,16 @@ func FindPoissonThresholdCtx(ctx context.Context, m randmodel.Model, cfg Config)
 		floor := floorOf(sTilde)
 		hctx, hsp := trace.Start(ctx, "montecarlo.halving",
 			trace.Int("halving", halving), trace.Int("floor", floor))
-		col, err := mineAll(hctx, m, seeds, floor, cfg)
+		col, minPs, err := mineAll(hctx, m, seeds, floor, cfg)
 		if err != nil {
 			hsp.End(trace.String("outcome", "error"))
 			return nil, err
+		}
+		// Each halving re-collects; the accepted halving's distribution (the
+		// one whose floor the caller's s_min will sit above) is what persists.
+		if cfg.CollectMinPs {
+			res.MinPs = minPs
+			res.MinPFloor = floor
 		}
 		if col.numEntry == 0 {
 			// W empty: no k-itemset ever reaches the floor. At floor 1 the
@@ -490,10 +518,17 @@ type rangeResult struct {
 // via GenerateReusing, plus a mining.Scratch reused across mines) and
 // recycles flat Partial buffers through a free list; the merge indexes
 // itemsets through the collection's string-free table.
-func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, cfg Config) (*collection, error) {
+// Under cfg.CollectMinPs, mineAll also returns the per-replicate minimum
+// marginal p-values (one per seed, replicate order); otherwise the second
+// return is nil.
+func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, cfg Config) (*collection, []float64, error) {
 	k := cfg.K
 	col := newCollection(k, floor)
 	softCap := softCapFor(len(seeds))
+	var minPs []float64
+	if cfg.CollectMinPs {
+		minPs = make([]float64, len(seeds))
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -593,6 +628,15 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 					Seeds:     seeds[rg.From:rg.To],
 					Workers:   intra,
 				}
+				if cfg.CollectMinPs {
+					// The min-p statistic ranges over the itemsets reaching
+					// the mining floor, so the floor must be the same for
+					// every range regardless of scheduling: pin it to the
+					// halving's base floor instead of the racy raised-floor
+					// shortcut (the merge re-filters either way).
+					req.Floor = floor
+					req.StatFloor = floor
+				}
 				if cfg.Runner != nil {
 					p, err := cfg.Runner(ctx, req)
 					if err == nil {
@@ -634,7 +678,7 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 			// touching the partially built collection again. Executors drain
 			// themselves via the ctx check above.
 			msp.End(trace.String("outcome", "canceled"))
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 		if traced {
 			w := time.Since(waitStart)
@@ -646,15 +690,18 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 		if res.err != nil {
 			msp.End(trace.String("outcome", "error"))
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return nil, fmt.Errorf("montecarlo: replicate range [%d,%d): %w", rg.From, rg.To, res.err)
+			return nil, nil, fmt.Errorf("montecarlo: replicate range [%d,%d): %w", rg.From, rg.To, res.err)
+		}
+		if cfg.CollectMinPs {
+			copy(minPs[rg.From:rg.To], res.p.MinPs)
 		}
 		if err := mergePartial(ctx, col, res.p, k, softCap, floor, len(seeds), cfg, func(f int) {
 			minFloor.Store(int64(f))
 		}); err != nil {
 			msp.End(trace.String("outcome", "error"))
-			return nil, err
+			return nil, nil, err
 		}
 		if cfg.Runner == nil {
 			select {
@@ -668,5 +715,5 @@ func mineAll(ctx context.Context, m randmodel.Model, seeds []uint64, floor int, 
 		trace.Int("mine_ms", int(mineNanos.Load()/1e6)),
 		trace.Int("merge_wait_ms", int(stall.Milliseconds())),
 		trace.Int("merge_wait_max_ms", int(maxStall.Milliseconds())))
-	return col, nil
+	return col, minPs, nil
 }

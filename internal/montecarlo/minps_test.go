@@ -1,0 +1,166 @@
+package montecarlo
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sigfim/internal/randmodel"
+	"sigfim/internal/stats"
+)
+
+// Westfall-Young min-p collection tests: the per-replicate minimum marginal
+// p-value shards must be shaped right (one value per replicate, valid range),
+// bit-identical across worker counts and null models, and must agree with a
+// direct recomputation from the mined (itemset, support) stream.
+
+func TestCollectMinPsShapeAndRange(t *testing.T) {
+	m := fabricModel()
+	cfg := runnerConfig()
+	cfg.CollectMinPs = true
+	res, err := FindPoissonThresholdCtx(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MinPs) != cfg.Delta {
+		t.Fatalf("len(MinPs) = %d, want Delta = %d", len(res.MinPs), cfg.Delta)
+	}
+	if res.MinPFloor != res.Floor {
+		t.Errorf("MinPFloor = %d, want final floor %d", res.MinPFloor, res.Floor)
+	}
+	nonSentinel := 0
+	for i, p := range res.MinPs {
+		if p == MinPNone {
+			continue
+		}
+		nonSentinel++
+		if !(p >= 0 && p <= 1) {
+			t.Fatalf("MinPs[%d] = %v outside [0,1]", i, p)
+		}
+	}
+	if nonSentinel == 0 {
+		t.Fatal("every replicate hit the MinPNone sentinel; test is vacuous")
+	}
+
+	// Without the flag the null distribution must not be collected.
+	cfg.CollectMinPs = false
+	plain, err := FindPoissonThresholdCtx(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.MinPs) != 0 || plain.MinPFloor != 0 {
+		t.Errorf("MinPs collected without CollectMinPs: %d values, floor %d",
+			len(plain.MinPs), plain.MinPFloor)
+	}
+	// Collection must not perturb the threshold itself.
+	if res.SMin != plain.SMin || res.NumItemsets != plain.NumItemsets {
+		t.Errorf("CollectMinPs changed the result: SMin/|W| = %d/%d, want %d/%d",
+			res.SMin, res.NumItemsets, plain.SMin, plain.NumItemsets)
+	}
+}
+
+// TestCollectMinPsWorkerBitIdentity requires the min-p shards to merge to the
+// identical float64 slice at every worker count, under both null models —
+// the distributed Westfall-Young contract the service layer builds on.
+func TestCollectMinPsWorkerBitIdentity(t *testing.T) {
+	models := []struct {
+		name string
+		m    randmodel.Model
+		cfg  Config
+	}{
+		{"independence", fabricModel(), Config{K: 2, Delta: 40, Epsilon: 0.05, Seed: 5, CollectMinPs: true}},
+		{"swap", &randmodel.SwapModel{Base: swapPoolingBase()}, Config{K: 2, Delta: 30, Epsilon: 0.01, Seed: 42, CollectMinPs: true}},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Workers = 1
+			ref, err := FindPoissonThresholdCtx(context.Background(), tc.m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref.MinPs) != cfg.Delta {
+				t.Fatalf("len(MinPs) = %d, want %d", len(ref.MinPs), cfg.Delta)
+			}
+			for _, workers := range []int{4, 8} {
+				cfg.Workers = workers
+				got, err := FindPoissonThresholdCtx(context.Background(), tc.m, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got.MinPs, ref.MinPs) {
+					t.Fatalf("workers=%d: MinPs differ from single-worker run", workers)
+				}
+				if got.MinPFloor != ref.MinPFloor {
+					t.Fatalf("workers=%d: MinPFloor = %d, want %d", workers, got.MinPFloor, ref.MinPFloor)
+				}
+			}
+		})
+	}
+}
+
+// TestMineRangeMinPsMatchDirect recomputes every replicate's minimum marginal
+// p-value from the partial's own (itemset, support) stream and requires exact
+// agreement with the value the visitor closure recorded inline.
+func TestMineRangeMinPsMatchDirect(t *testing.T) {
+	m := fabricModel()
+	const delta, k, floor = 10, 2, 2
+	req := RangeRequest{
+		Range: ReplicateRange{From: 0, To: delta},
+		K:     k, Floor: floor, StatFloor: floor,
+		Seeds: fabricSeeds(7, delta),
+	}
+	var p Partial
+	if err := MineRange(context.Background(), m, req, nil, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(req); err != nil {
+		t.Fatal(err)
+	}
+	freqs := m.ItemFrequencies()
+	n := m.NumTransactions()
+	itemOff, supOff := 0, 0
+	for r := 0; r < delta; r++ {
+		want := MinPNone
+		for j := 0; j < int(p.Counts[r]); j++ {
+			sup := int(p.Sups[supOff+j])
+			if sup < req.StatFloor {
+				continue
+			}
+			fX := 1.0
+			for _, it := range p.Items[itemOff+j*k : itemOff+(j+1)*k] {
+				fX *= freqs[it]
+			}
+			if pv := (stats.Binomial{N: n, P: fX}).UpperTail(sup); pv < want {
+				want = pv
+			}
+		}
+		if p.MinPs[r] != want {
+			t.Fatalf("replicate %d: MinPs = %v, direct recomputation = %v", r, p.MinPs[r], want)
+		}
+		itemOff += int(p.Counts[r]) * k
+		supOff += int(p.Counts[r])
+	}
+}
+
+// TestMineRangeStatFloorValidation pins the request/partial contract: a stat
+// floor below the mining floor is rejected, and stray MinPs in a range that
+// requested none fail validation.
+func TestMineRangeStatFloorValidation(t *testing.T) {
+	req := RangeRequest{
+		Range: ReplicateRange{From: 0, To: 3},
+		K:     2, Floor: 3, StatFloor: 2, Seeds: []uint64{1, 2, 3},
+	}
+	if err := req.validate(); err == nil {
+		t.Error("stat floor below mining floor accepted")
+	}
+	req.StatFloor = 0
+	var p Partial
+	if err := MineRange(context.Background(), fabricModel(), req, nil, &p); err != nil {
+		t.Fatal(err)
+	}
+	p.MinPs = append(p.MinPs, 0.5, 0.5, 0.5)
+	if err := p.Validate(req); err == nil {
+		t.Error("stray MinPs in a no-stat-floor range accepted")
+	}
+}

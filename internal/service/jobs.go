@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,7 +40,21 @@ const (
 	// KindSMin runs Algorithm 1 alone (Dataset.FindSMinCtx) and stores the
 	// estimated Poisson threshold.
 	KindSMin = "smin"
+	// KindClosed mines the closed frequent itemsets at MinSupport
+	// (Dataset.ClosedItemsets) and stores an ItemsetsResult.
+	KindClosed = "closed"
+	// KindMaximal mines the maximal frequent itemsets at MinSupport
+	// (Dataset.MaximalItemsets) and stores an ItemsetsResult.
+	KindMaximal = "maximal"
+	// KindRules mines association rules (Dataset.Rules, or
+	// Dataset.SignificantRules when Config.Beta is set) and stores a
+	// RulesResult.
+	KindRules = "rules"
 )
+
+// jobKinds enumerates every accepted kind, in the order error messages and
+// documentation list them.
+var jobKinds = []string{KindSignificant, KindSMin, KindClosed, KindMaximal, KindRules}
 
 // JobState is the lifecycle state of a job.
 type JobState string
@@ -61,14 +76,28 @@ func (s JobState) Terminal() bool {
 type JobRequest struct {
 	// Dataset names a registered dataset.
 	Dataset string `json:"dataset"`
-	// Kind is KindSignificant or KindSMin.
+	// Kind is one of the Kind* constants: "significant", "smin", "closed",
+	// "maximal", or "rules".
 	Kind string `json:"kind"`
-	// K is the itemset size under study.
-	K int `json:"k"`
+	// K is the itemset size under study (significant and smin jobs only;
+	// the mining kinds take MinSupport instead and require K to be absent).
+	K int `json:"k,omitempty"`
+	// MinSupport is the absolute support threshold of closed, maximal, and
+	// rules jobs (>= 1); the statistical kinds derive their threshold and
+	// require it to be absent.
+	MinSupport int `json:"min_support,omitempty"`
+	// MinConfidence keeps only rules with at least this confidence (rules
+	// jobs; 0 keeps all).
+	MinConfidence float64 `json:"min_confidence,omitempty"`
+	// MaxLen caps the itemset size rules are generated from (rules jobs;
+	// 0 = the library default of 4).
+	MaxLen int `json:"max_len,omitempty"`
 	// Config carries the full analysis configuration; nil selects the
 	// paper's defaults. Field names follow sigfim.Config (Alpha, Beta,
-	// Epsilon, Delta, Seed, WithBaseline, MaxPatterns, SwapNull,
-	// SwapProposalsPerOccurrence, SwapProposals, Workers, Algorithm).
+	// Epsilon, Delta, Seed, WithBaseline, Correction, MaxPatterns, SwapNull,
+	// SwapProposalsPerOccurrence, SwapProposals, Workers, Algorithm). Rules
+	// jobs read only Beta (> 0 switches to SignificantRules at that FDR
+	// budget); closed and maximal jobs ignore Config entirely.
 	Config *sigfim.Config `json:"config,omitempty"`
 }
 
@@ -102,6 +131,29 @@ type JobStatus struct {
 type SMinResult struct {
 	K    int `json:"k"`
 	SMin int `json:"s_min"`
+}
+
+// ItemsetsResult is the stored result payload of KindClosed and KindMaximal
+// jobs. Itemsets carries exactly the patterns the corresponding library call
+// (Dataset.ClosedItemsets or Dataset.MaximalItemsets) returns, in the same
+// order, so the job result is bit-identical to a direct call marshaled the
+// same way.
+type ItemsetsResult struct {
+	MinSupport  int              `json:"min_support"`
+	NumItemsets int              `json:"num_itemsets"`
+	Itemsets    []sigfim.Pattern `json:"itemsets"`
+}
+
+// RulesResult is the stored result payload of a KindRules job. Beta echoes
+// the FDR budget when the rules were filtered through SignificantRules; zero
+// means the unfiltered Dataset.Rules output.
+type RulesResult struct {
+	MinSupport    int                      `json:"min_support"`
+	MinConfidence float64                  `json:"min_confidence"`
+	MaxLen        int                      `json:"max_len"`
+	Beta          float64                  `json:"beta"`
+	NumRules      int                      `json:"num_rules"`
+	Rules         []sigfim.AssociationRule `json:"rules"`
 }
 
 // job is the engine's mutable job record. Mutable fields are guarded by the
@@ -239,12 +291,35 @@ func (e *Engine) Draining() bool {
 // fail for runtime reasons, never for malformed parameters.
 func (e *Engine) validate(req JobRequest) error {
 	switch req.Kind {
-	case KindSignificant, KindSMin:
+	case KindSignificant, KindSMin, KindClosed, KindMaximal, KindRules:
 	default:
-		return fmt.Errorf("%w: unknown job kind %q (want %q or %q)", ErrBadRequest, req.Kind, KindSignificant, KindSMin)
+		return fmt.Errorf("%w: unknown job kind %q (valid kinds: %s)",
+			ErrBadRequest, req.Kind, strings.Join(jobKinds, ", "))
 	}
-	if req.K < 1 {
-		return fmt.Errorf("%w: k must be >= 1, got %d", ErrBadRequest, req.K)
+	statistical := req.Kind == KindSignificant || req.Kind == KindSMin
+	if statistical {
+		if req.K < 1 {
+			return fmt.Errorf("%w: k must be >= 1, got %d", ErrBadRequest, req.K)
+		}
+		if req.MinSupport != 0 || req.MinConfidence != 0 || req.MaxLen != 0 {
+			return fmt.Errorf("%w: min_support, min_confidence, and max_len do not apply to %q jobs (the methodology derives its own threshold)", ErrBadRequest, req.Kind)
+		}
+	} else {
+		if req.K != 0 {
+			return fmt.Errorf("%w: %q jobs take min_support, not k", ErrBadRequest, req.Kind)
+		}
+		if req.MinSupport < 1 {
+			return fmt.Errorf("%w: min_support must be >= 1, got %d", ErrBadRequest, req.MinSupport)
+		}
+		if req.Kind != KindRules && (req.MinConfidence != 0 || req.MaxLen != 0) {
+			return fmt.Errorf("%w: min_confidence and max_len apply only to %q jobs", ErrBadRequest, KindRules)
+		}
+		if req.MinConfidence < 0 || req.MinConfidence > 1 {
+			return fmt.Errorf("%w: min_confidence must be in [0, 1], got %v", ErrBadRequest, req.MinConfidence)
+		}
+		if req.MaxLen < 0 {
+			return fmt.Errorf("%w: max_len must be >= 0, got %d", ErrBadRequest, req.MaxLen)
+		}
 	}
 	if c := req.Config; c != nil {
 		if _, err := mining.ParseAlgorithm(c.Algorithm); err != nil {
@@ -258,6 +333,9 @@ func (e *Engine) validate(req JobRequest) error {
 		}
 		if c.Alpha < 0 || c.Alpha >= 1 || c.Beta < 0 || c.Beta >= 1 || c.Epsilon < 0 || c.Epsilon >= 1 {
 			return fmt.Errorf("%w: alpha, beta, and epsilon must be in [0, 1) (0 = default)", ErrBadRequest)
+		}
+		if _, err := sigfim.ParseCorrection(c.Correction); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		if req.Kind == KindSMin && c.SwapNull {
 			// FindSMin always runs the independence null; silently returning
@@ -286,15 +364,28 @@ func (e *Engine) validate(req JobRequest) error {
 // zeroed, so a request that spells out a default (or sets a knob its own
 // configuration makes irrelevant) still shares the cache slot of the run it
 // is guaranteed to reproduce.
+//
+// Correction follows the same logic: it is the normalized correction name
+// when the baseline actually runs and empty otherwise, and WithBaseline is
+// the effective flag (an explicit Correction implies the baseline), so
+// {WithBaseline: true} and {Correction: "by"} share one slot. The mining
+// kinds (closed, maximal, rules) zero the whole statistical block including
+// Algorithm — their library calls take no algorithm knob — and carry only
+// the fields that parameterize them; rules jobs keep Beta with its zero
+// meaning "unfiltered", unlike significant jobs where zero means 0.05.
 type canonicalRequest struct {
 	Kind          string  `json:"kind"`
 	K             int     `json:"k"`
+	MinSupport    int     `json:"min_support"`
+	MinConfidence float64 `json:"min_confidence"`
+	MaxLen        int     `json:"max_len"`
 	Alpha         float64 `json:"alpha"`
 	Beta          float64 `json:"beta"`
 	Epsilon       float64 `json:"epsilon"`
 	Delta         int     `json:"delta"`
 	Seed          uint64  `json:"seed"`
 	WithBaseline  bool    `json:"with_baseline"`
+	Correction    string  `json:"correction"`
 	MaxPatterns   int     `json:"max_patterns"`
 	NullModel     string  `json:"null_model"`
 	SwapPPO       int     `json:"swap_ppo"`
@@ -314,15 +405,36 @@ func canonicalize(req JobRequest) canonicalRequest {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	c := canonicalRequest{
-		Kind:      req.Kind,
-		K:         req.K,
-		Epsilon:   cfg.Epsilon,
-		Delta:     cfg.Delta,
-		Seed:      cfg.Seed,
-		NullModel: nullIndependence,
-		Algorithm: cfg.Algorithm,
+	c := canonicalRequest{Kind: req.Kind}
+
+	// The mining kinds depend only on their own parameters: every miner
+	// emits the identical pattern set, the dataset carries no randomness,
+	// and no analysis config is read (rules jobs read Beta alone). The
+	// whole statistical block — including Algorithm — stays zero, so
+	// requests differing only in irrelevant config share one cache slot.
+	switch req.Kind {
+	case KindClosed, KindMaximal:
+		c.MinSupport = req.MinSupport
+		return c
+	case KindRules:
+		c.MinSupport = req.MinSupport
+		c.MinConfidence = req.MinConfidence
+		c.MaxLen = req.MaxLen
+		if c.MaxLen == 0 {
+			c.MaxLen = 4
+		}
+		// Beta keeps its raw zero semantic here: zero means unfiltered
+		// Rules, any positive value means SignificantRules at that budget.
+		c.Beta = cfg.Beta
+		return c
 	}
+
+	c.K = req.K
+	c.Epsilon = cfg.Epsilon
+	c.Delta = cfg.Delta
+	c.Seed = cfg.Seed
+	c.NullModel = nullIndependence
+	c.Algorithm = cfg.Algorithm
 	if c.Epsilon == 0 {
 		c.Epsilon = 0.01
 	}
@@ -335,7 +447,6 @@ func canonicalize(req JobRequest) canonicalRequest {
 	if req.Kind == KindSignificant {
 		c.Alpha = cfg.Alpha
 		c.Beta = cfg.Beta
-		c.WithBaseline = cfg.WithBaseline
 		c.MaxPatterns = cfg.MaxPatterns
 		if c.Alpha == 0 {
 			c.Alpha = 0.05
@@ -345,6 +456,13 @@ func canonicalize(req JobRequest) canonicalRequest {
 		}
 		if c.MaxPatterns == 0 {
 			c.MaxPatterns = 100000
+		}
+		// An explicit Correction implies the baseline (mirroring
+		// sigfim.Config), and the correction name only matters when the
+		// baseline runs.
+		c.WithBaseline = cfg.WithBaseline || cfg.Correction != ""
+		if c.WithBaseline {
+			c.Correction, _ = sigfim.ParseCorrection(cfg.Correction) // validated at admission
 		}
 		if cfg.SwapNull {
 			c.NullModel = nullSwap
@@ -557,6 +675,36 @@ func (e *Engine) run(j *job) {
 		var s int
 		s, err = j.ds.FindSMinCtx(ctx, j.req.K, &cfg)
 		payload = SMinResult{K: j.req.K, SMin: s}
+	case KindClosed:
+		ps := j.ds.ClosedItemsets(j.req.MinSupport)
+		payload = ItemsetsResult{MinSupport: j.req.MinSupport, NumItemsets: len(ps), Itemsets: ps}
+	case KindMaximal:
+		ps := j.ds.MaximalItemsets(j.req.MinSupport)
+		payload = ItemsetsResult{MinSupport: j.req.MinSupport, NumItemsets: len(ps), Itemsets: ps}
+	case KindRules:
+		ropts := sigfim.RuleOptions{
+			MinSupport:    j.req.MinSupport,
+			MinConfidence: j.req.MinConfidence,
+			MaxLen:        j.req.MaxLen,
+		}
+		var rs []sigfim.AssociationRule
+		if cfg.Beta > 0 {
+			rs, err = j.ds.SignificantRules(ropts, cfg.Beta)
+		} else {
+			rs, err = j.ds.Rules(ropts)
+		}
+		maxLen := j.req.MaxLen
+		if maxLen == 0 {
+			maxLen = 4
+		}
+		payload = RulesResult{
+			MinSupport:    j.req.MinSupport,
+			MinConfidence: j.req.MinConfidence,
+			MaxLen:        maxLen,
+			Beta:          cfg.Beta,
+			NumRules:      len(rs),
+			Rules:         rs,
+		}
 	default: // unreachable: Submit validated the kind
 		err = fmt.Errorf("unknown kind %q", j.req.Kind)
 	}

@@ -20,7 +20,8 @@
 //	                             a dataset addressed by content hash (the
 //	                             worker side of the distributed fabric)
 //	GET    /v1/jobs              list jobs in submission order (no results)
-//	POST   /v1/jobs              submit an analysis job (JobRequest)
+//	POST   /v1/jobs              submit a job (JobRequest); kinds: significant,
+//	                             smin, closed, maximal, rules
 //	GET    /v1/jobs/{id}         job status / progress / result
 //	GET    /v1/jobs/{id}/events  live job stream (Server-Sent Events)
 //	GET    /v1/jobs/{id}/trace   completed job's span tree (see internal/trace)

@@ -61,6 +61,12 @@ type PartialRequest struct {
 	K int `json:"k"`
 	// Floor is the mining support threshold for every replicate in the range.
 	Floor int `json:"floor"`
+	// StatFloor, when positive, makes the worker additionally report each
+	// replicate's minimum marginal Binomial p-value over itemsets with
+	// support >= StatFloor (RangePartial.MinPs) — the Westfall-Young
+	// statistic. Must be >= Floor; coordinators collecting it pin the two
+	// equal. Zero (the default) skips collection.
+	StatFloor int `json:"stat_floor,omitempty"`
 	// Algorithm is one of the Algo* constants ("" = auto).
 	Algorithm string `json:"algorithm,omitempty"`
 	// Seeds holds one RNG seed per replicate; Seeds[i] drives replicate
@@ -97,6 +103,13 @@ type RangePartial struct {
 	// range order; Sups holds the parallel supports.
 	Items []uint32 `json:"items,omitempty"`
 	Sups  []int32  `json:"sups,omitempty"`
+	// MinPs, present exactly when the request carried a StatFloor, holds one
+	// value per replicate: the minimum marginal Binomial p-value over the
+	// replicate's itemsets with support >= StatFloor (montecarlo.MinPNone
+	// when none reached it). float64 JSON round trips are exact, so the
+	// Westfall-Young null distribution is bit-identical however many
+	// processes it crossed.
+	MinPs []float64 `json:"min_ps,omitempty"`
 }
 
 // nullModelFor builds the null model a PartialRequest names, constructed
@@ -134,6 +147,7 @@ func (ds *Dataset) MineReplicateRange(ctx context.Context, req PartialRequest) (
 		Range:     montecarlo.ReplicateRange{From: req.From, To: req.To},
 		K:         req.K,
 		Floor:     req.Floor,
+		StatFloor: req.StatFloor,
 		Algorithm: algo,
 		Seeds:     req.Seeds,
 		Workers:   req.Workers,
@@ -208,6 +222,7 @@ func (f *remoteFabric) run(ctx context.Context, req montecarlo.RangeRequest) (*m
 	wire.To = req.Range.To
 	wire.K = req.K
 	wire.Floor = req.Floor
+	wire.StatFloor = req.StatFloor
 	wire.Seeds = req.Seeds
 	wire.Workers = req.Workers
 

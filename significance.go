@@ -12,6 +12,27 @@ import (
 	"sigfim/internal/trace"
 )
 
+// The multiple-testing corrections Config.Correction accepts. See the
+// Correction field for the decision guide; "" selects CorrectionBY.
+const (
+	CorrectionBonferroni    = core.CorrectionBonferroni
+	CorrectionHolm          = core.CorrectionHolm
+	CorrectionBY            = core.CorrectionBY
+	CorrectionWestfallYoung = core.CorrectionWestfallYoung
+)
+
+// ParseCorrection normalizes a correction name the way Config.Correction is
+// interpreted: trimmed, lowercased, with "" meaning CorrectionBY. Unknown
+// names return an error enumerating the accepted set.
+func ParseCorrection(s string) (string, error) {
+	c, err := core.ParseCorrection(s)
+	if err != nil {
+		return "", fmt.Errorf("sigfim: unknown correction %q (want %q, %q, %q, or %q)",
+			s, CorrectionBonferroni, CorrectionHolm, CorrectionBY, CorrectionWestfallYoung)
+	}
+	return c, nil
+}
+
 // Config tunes the significance methodology. The zero value (or a nil
 // pointer) selects the paper's experimental settings: alpha = beta = 0.05,
 // epsilon = 0.01, Delta = 1000 Monte Carlo replicates.
@@ -27,9 +48,20 @@ type Config struct {
 	Delta int
 	// Seed fixes all random streams; runs are fully deterministic per seed.
 	Seed uint64
-	// WithBaseline additionally runs the Benjamini-Yekutieli per-itemset
-	// baseline (Procedure 1) and fills Report.Baseline.
+	// WithBaseline additionally runs the per-itemset baseline (Procedure 1,
+	// under Correction) and fills Report.Baseline.
 	WithBaseline bool
+	// Correction selects the multiple-testing correction Procedure 1 flags
+	// discoveries with: one of CorrectionBonferroni, CorrectionHolm,
+	// CorrectionBY (the default, the paper's Theorem 5 procedure), or
+	// CorrectionWestfallYoung. Setting it implies WithBaseline.
+	// Westfall-Young calibrates against the per-replicate minimum p-value
+	// distribution collected from the same Monte Carlo replicates Algorithm 1
+	// mines — under either null model — so it costs no extra replicates, only
+	// one exact Binomial tail per mined itemset. It controls FWER (hence also
+	// FDR) at Beta while adapting to the dependence among supports instead of
+	// paying the worst-case C(n, k) penalty. Ignored by FindSMin.
+	Correction string
 	// MaxPatterns caps how many significant itemsets Report.Significant
 	// materializes (0 = 100000). The count NumSignificant is always exact.
 	MaxPatterns int
@@ -146,7 +178,7 @@ func (c *Config) withDefaults() (core.Options, error) {
 		o.Epsilon = c.Epsilon
 		o.Delta = c.Delta
 		o.Seed = c.Seed
-		o.RunProcedure1 = c.WithBaseline
+		o.RunProcedure1 = c.WithBaseline || c.Correction != ""
 		o.Workers = c.Workers
 		o.Progress = c.Progress
 		algo, err := mining.ParseAlgorithm(c.Algorithm)
@@ -154,6 +186,11 @@ func (c *Config) withDefaults() (core.Options, error) {
 			return o, fmt.Errorf("sigfim: unknown algorithm %q", c.Algorithm)
 		}
 		o.Algorithm = algo
+		correction, err := ParseCorrection(c.Correction)
+		if err != nil {
+			return o, err
+		}
+		o.Correction = correction
 	}
 	return o, nil
 }
@@ -167,8 +204,12 @@ type LadderStep struct {
 	Rejected bool
 }
 
-// BaselineReport carries the Procedure 1 (Benjamini-Yekutieli) outcome.
+// BaselineReport carries the Procedure 1 outcome under the configured
+// multiple-testing correction (Benjamini-Yekutieli unless overridden).
 type BaselineReport struct {
+	// Correction names the multiple-testing correction the family was
+	// flagged under (one of the Correction* constants).
+	Correction string
 	// NumSignificant is |R|, the size of the flagged family.
 	NumSignificant int
 	// NumTested is |F_k(s_min)|, the number of itemsets whose p-value was
@@ -282,6 +323,7 @@ func (ds *Dataset) SignificantCtx(ctx context.Context, k int, cfg *Config) (*Rep
 	}
 	if a.Proc1 != nil {
 		b := &BaselineReport{
+			Correction:     a.Proc1.Correction,
 			NumSignificant: a.Proc1.FamilySize,
 			NumTested:      a.Proc1.NumMined,
 		}
